@@ -1,0 +1,113 @@
+/// \file ablation_blackboard.cpp
+/// \brief Ablations for the parallel-blackboard design choices called out
+/// in DESIGN.md: worker-pool width, job-FIFO array width (contention
+/// spreading), payload size, and the multi-sensitivity join cost.
+/// google-benchmark micro-benchmarks over the real engine.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "blackboard/blackboard.hpp"
+
+namespace {
+
+using namespace esp;
+using namespace esp::bb;
+
+/// Throughput of single-sensitivity jobs vs worker count.
+void BM_WorkerScaling(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  Blackboard board({.workers = workers, .fifo_count = 16});
+  std::atomic<std::uint64_t> sink{0};
+  const TypeId t = type_id("evt");
+  board.register_ks({"consume", {t}, [&](Blackboard&, auto entries) {
+                       sink.fetch_add(entries[0].template as<int>());
+                     }});
+  int v = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < 512; ++i) board.push(DataEntry::of(t, v));
+    board.drain();
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_WorkerScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Contention spreading: FIFO-array width under a fixed worker pool.
+void BM_FifoWidth(benchmark::State& state) {
+  const int fifos = static_cast<int>(state.range(0));
+  Blackboard board({.workers = 4, .fifo_count = fifos});
+  std::atomic<std::uint64_t> sink{0};
+  const TypeId t = type_id("evt");
+  board.register_ks({"consume", {t}, [&](Blackboard&, auto) {
+                       sink.fetch_add(1);
+                     }});
+  for (auto _ : state) {
+    for (int i = 0; i < 512; ++i) board.push(DataEntry::of(t, i));
+    board.drain();
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_FifoWidth)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// Push-to-completion latency for payloads of increasing size (the
+/// ref-counted zero-copy path: payload bytes are shared, never copied).
+void BM_PayloadSize(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Blackboard board({.workers = 2, .fifo_count = 8});
+  std::atomic<std::uint64_t> sink{0};
+  const TypeId t = type_id("blob");
+  board.register_ks({"consume", {t}, [&](Blackboard&, auto entries) {
+                       sink.fetch_add(entries[0].size());
+                     }});
+  auto payload = Buffer::make(bytes);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) board.push(DataEntry(t, payload));
+    board.drain();
+  }
+  state.SetBytesProcessed(state.iterations() * 64 *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PayloadSize)->Arg(1024)->Arg(64 * 1024)->Arg(1 << 20);
+
+/// Join cost: a KS with N sensitivities of one type (N-way batching).
+void BM_JoinArity(benchmark::State& state) {
+  const int arity = static_cast<int>(state.range(0));
+  Blackboard board({.workers = 2, .fifo_count = 8});
+  std::atomic<std::uint64_t> fires{0};
+  const TypeId t = type_id("j");
+  std::vector<TypeId> sens(static_cast<std::size_t>(arity), t);
+  board.register_ks({"join", sens, [&](Blackboard&, auto entries) {
+                       fires.fetch_add(entries.size());
+                     }});
+  for (auto _ : state) {
+    for (int i = 0; i < 512; ++i) board.push(DataEntry::of(t, i));
+    board.drain();
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_JoinArity)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Dynamic KS registration/removal churn concurrent with traffic.
+void BM_DynamicKsChurn(benchmark::State& state) {
+  Blackboard board({.workers = 2, .fifo_count = 8});
+  std::atomic<std::uint64_t> sink{0};
+  const TypeId t = type_id("evt");
+  board.register_ks({"base", {t}, [&](Blackboard&, auto) {
+                       sink.fetch_add(1);
+                     }});
+  for (auto _ : state) {
+    KsId id = board.register_ks({"tmp", {t}, [&](Blackboard&, auto) {
+                                   sink.fetch_add(1);
+                                 }});
+    for (int i = 0; i < 64; ++i) board.push(DataEntry::of(t, i));
+    board.remove_ks(id);
+    board.drain();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_DynamicKsChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+/// \file ablation_stream.cpp
+/// \brief Ablations for VMPI-Stream design choices: the N_A asynchronous
+/// buffer count (the adaptation window of Fig. 9), the block size (the
+/// paper uses ~1 MB), the balance policy, and the runtime's eager
+/// threshold. Each prints the *virtual* completion time of a fixed
+/// coupling, so the numbers compare modelled protocol efficiency.
+
+#include <benchmark/benchmark.h>
+
+#include "vmpi/stream.hpp"
+
+namespace {
+
+using namespace esp;
+
+/// Virtual walltime of writers streaming `total` bytes each to readers.
+double coupling_walltime(int n_writers, int n_readers, std::uint64_t block,
+                         int n_async, vmpi::BalancePolicy policy,
+                         std::uint64_t total_per_writer,
+                         std::uint64_t eager_threshold = 16 * 1024,
+                         double reader_cost_per_block = 0.0) {
+  const int blocks = static_cast<int>(total_per_writer / block);
+  std::vector<mpi::ProgramSpec> progs;
+  progs.push_back({"w", n_writers, [=](mpi::ProcEnv& env) {
+                     vmpi::Map m;
+                     m.map_partitions(env,
+                                      env.runtime->partition_by_name("r")->id,
+                                      vmpi::MapPolicy::RoundRobin);
+                     vmpi::Stream st({block, n_async, policy});
+                     st.open_map(env, m, "w");
+                     std::vector<std::byte> buf(block);
+                     for (int b = 0; b < blocks; ++b) st.write(buf.data(), 1);
+                     st.close();
+                   }});
+  progs.push_back({"r", n_readers, [=](mpi::ProcEnv& env) {
+                     vmpi::Map m;
+                     m.map_partitions(env,
+                                      env.runtime->partition_by_name("w")->id,
+                                      vmpi::MapPolicy::RoundRobin);
+                     vmpi::Stream st({block, n_async, policy});
+                     st.open_map(env, m, "r");
+                     std::vector<std::byte> buf(block);
+                     while (st.read(buf.data(), 1) != 0) {
+                       if (reader_cost_per_block > 0)
+                         mpi::compute(reader_cost_per_block);
+                     }
+                   }});
+  mpi::RuntimeConfig cfg;
+  cfg.eager_threshold = eager_threshold;
+  mpi::Runtime rt(cfg, std::move(progs));
+  rt.run();
+  return rt.max_walltime();
+}
+
+/// N_A sweep: more asynchronous buffers widen the producer/consumer
+/// adaptation window until the path saturates.
+void BM_AsyncBufferCount(benchmark::State& state) {
+  const int n_async = static_cast<int>(state.range(0));
+  double vt = 0;
+  for (auto _ : state)
+    vt = coupling_walltime(8, 2, 256 * 1024, n_async,
+                           vmpi::BalancePolicy::RoundRobin, 4u << 20);
+  state.counters["virtual_s"] = vt;
+  state.counters["virtual_GBps"] =
+      8.0 * (4u << 20) / vt / 1e9;
+}
+BENCHMARK(BM_AsyncBufferCount)
+    ->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(8)
+    ->Iterations(2)->Unit(benchmark::kMillisecond);
+
+/// Block-size sweep around the paper's 1 MB choice.
+void BM_BlockSize(benchmark::State& state) {
+  const auto block = static_cast<std::uint64_t>(state.range(0));
+  double vt = 0;
+  for (auto _ : state)
+    vt = coupling_walltime(8, 2, block, 3, vmpi::BalancePolicy::RoundRobin,
+                           4u << 20);
+  state.counters["virtual_s"] = vt;
+  state.counters["virtual_GBps"] = 8.0 * (4u << 20) / vt / 1e9;
+}
+BENCHMARK(BM_BlockSize)
+    ->Arg(16 * 1024)
+    ->Arg(64 * 1024)
+    ->Arg(256 * 1024)
+    ->Arg(1 << 20)
+    ->Iterations(2)->Unit(benchmark::kMillisecond);
+
+/// Balance policies with a deliberately slow reader subset: round-robin
+/// and random spread blocks; "none" pins everything on one endpoint.
+void BM_BalancePolicy(benchmark::State& state) {
+  const auto policy = static_cast<vmpi::BalancePolicy>(state.range(0));
+  double vt = 0;
+  for (auto _ : state)
+    vt = coupling_walltime(4, 4, 128 * 1024, 3, policy, 2u << 20, 16 * 1024,
+                           200e-6);
+  state.counters["virtual_s"] = vt;
+}
+BENCHMARK(BM_BalancePolicy)
+    ->Arg(static_cast<int>(vmpi::BalancePolicy::None))
+    ->Arg(static_cast<int>(vmpi::BalancePolicy::Random))
+    ->Arg(static_cast<int>(vmpi::BalancePolicy::RoundRobin))
+    ->Iterations(2)->Unit(benchmark::kMillisecond);
+
+/// Eager-threshold sweep on a latency-sensitive ping-pong.
+void BM_EagerThreshold(benchmark::State& state) {
+  const auto threshold = static_cast<std::uint64_t>(state.range(0));
+  double vt = 0;
+  for (auto _ : state) {
+    std::vector<mpi::ProgramSpec> progs;
+    progs.push_back({"pp", 2, [](mpi::ProcEnv& env) {
+                       std::vector<std::byte> buf(32 * 1024);
+                       const int peer = 1 - env.world_rank;
+                       for (int i = 0; i < 64; ++i) {
+                         if (env.world_rank == 0) {
+                           env.world.send(buf.data(), buf.size(), peer, 0);
+                           env.world.recv(buf.data(), buf.size(), peer, 0);
+                         } else {
+                           env.world.recv(buf.data(), buf.size(), peer, 0);
+                           env.world.send(buf.data(), buf.size(), peer, 0);
+                         }
+                       }
+                     }});
+    mpi::RuntimeConfig cfg;
+    cfg.machine.cores_per_node = 1;  // force the NIC path
+    cfg.eager_threshold = threshold;
+    mpi::Runtime rt(cfg, std::move(progs));
+    rt.run();
+    vt = rt.max_walltime();
+  }
+  state.counters["virtual_ms"] = vt * 1e3;
+}
+BENCHMARK(BM_EagerThreshold)
+    ->Arg(0)
+    ->Arg(4 * 1024)
+    ->Arg(16 * 1024)
+    ->Arg(64 * 1024)
+    ->Iterations(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

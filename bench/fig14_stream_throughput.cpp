@@ -1,0 +1,112 @@
+/// \file fig14_stream_throughput.cpp
+/// \brief Reproduces paper Fig. 14: global VMPI-Stream throughput when
+/// every writer streams a fixed volume, across writer counts and
+/// writer/reader ratios (the coupling codes of Figs. 11 and 12).
+///
+/// Paper reference points (Tera 100): ~98.5 GB/s aggregate at 2560:2560;
+/// streams beat the scaled filesystem share (9.1 GB/s at 2560 cores) up to
+/// a ratio of ~25 readers under one.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "vmpi/stream.hpp"
+
+namespace {
+
+using namespace esp;
+
+struct Point {
+  int writers;
+  int ratio;
+  double throughput;  // bytes per virtual second
+};
+
+Point run_point(int n_writers, int ratio, std::uint64_t bytes_per_writer,
+                const net::MachineConfig& machine) {
+  // Paper: Nr = floor(Nw/ratio), at least 1.
+  const int n_readers = std::max(1, n_writers / ratio);
+  const std::uint64_t block = 1u << 20;
+  const int blocks = static_cast<int>(bytes_per_writer / block);
+
+  std::vector<mpi::ProgramSpec> progs;
+  progs.push_back(
+      {"writers", n_writers, [=](mpi::ProcEnv& env) {
+         vmpi::Map map;
+         map.map_partitions(env,
+                            env.runtime->partition_by_name("Analyzer")->id,
+                            vmpi::MapPolicy::RoundRobin);
+         vmpi::Stream st({block, 3, vmpi::BalancePolicy::RoundRobin});
+         st.open_map(env, map, "w");
+         std::vector<std::byte> buf(block);
+         for (int b = 0; b < blocks; ++b) st.write(buf.data(), 1);
+         st.close();
+       }});
+  progs.push_back(
+      {"Analyzer", n_readers, [=](mpi::ProcEnv& env) {
+         vmpi::Map map;
+         map.map_partitions(env, env.runtime->partition_by_name("writers")->id,
+                            vmpi::MapPolicy::RoundRobin);
+         vmpi::Stream st({block, 3, vmpi::BalancePolicy::RoundRobin});
+         st.open_map(env, map, "r");
+         std::vector<std::byte> buf(block);
+         while (st.read(buf.data(), 1) != 0) {
+         }
+       }});
+  mpi::RuntimeConfig cfg;
+  cfg.machine = machine;
+  mpi::Runtime rt(cfg, std::move(progs));
+  rt.run();
+
+  const double total =
+      static_cast<double>(bytes_per_writer) * static_cast<double>(n_writers);
+  return {n_writers, ratio, total / rt.max_walltime()};
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = net::MachineConfig::tera100();
+  const bool full = full_scale();
+  const std::vector<int> writer_counts =
+      full ? std::vector<int>{64, 160, 320, 640, 1280, 2560}
+           : std::vector<int>{32, 64, 128, 256};
+  const std::vector<int> ratios = {1, 2, 4, 8, 16, 25, 32, 64};
+  const std::uint64_t bytes_per_writer =
+      full ? (64ull << 20) : (8ull << 20);  // paper: 1 GB per process
+
+  std::cout << "Fig 14 — VMPI Stream global throughput (machine: "
+            << machine.name << ", 1 MB blocks, "
+            << format_bytes(static_cast<double>(bytes_per_writer))
+            << " per writer)\n\n";
+
+  Table table({"writers", "ratio", "readers", "throughput", "GB/s"});
+  std::vector<std::vector<std::string>> csv;
+  double peak = 0;
+  for (int w : writer_counts) {
+    for (int r : ratios) {
+      if (w / r < 1 && r != ratios.front()) continue;
+      const Point p = run_point(w, r, bytes_per_writer, machine);
+      peak = std::max(peak, p.throughput);
+      table.row(p.writers, p.ratio, std::max(1, p.writers / p.ratio),
+                format_bandwidth(p.throughput), p.throughput / 1e9);
+      csv.push_back({std::to_string(p.writers), std::to_string(p.ratio),
+                     std::to_string(p.throughput / 1e9)});
+    }
+  }
+  table.print(std::cout);
+
+  // The paper's comparison line: the filesystem share of this many cores.
+  const int cores = writer_counts.back();
+  const double fs_share = machine.fs_total_bandwidth *
+                          (static_cast<double>(cores) / machine.total_cores);
+  std::cout << "\npeak stream throughput: " << format_bandwidth(peak)
+            << "\nfilesystem fair share at " << cores
+            << " cores: " << format_bandwidth(fs_share)
+            << " (paper: 9.1 GB/s at 2560 cores; streams win below ratio ~25)"
+            << std::endl;
+
+  esp::write_csv(benchutil::results_dir() + "/fig14_stream_throughput.csv",
+                 {"writers", "ratio", "throughput_gbs"}, csv);
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// \file multi_instrument.cpp
+/// \brief Concurrent multi-application profiling (paper Figs. 5 and 10):
+/// three different programs run side by side in one MPMD job; a single
+/// analyzer partition profiles all of them through the multi-level
+/// blackboard and produces one report with a chapter per application.
+///
+/// This is the scenario the paper highlights as novel: "a user launching
+/// multiple instrumented applications is able to get a dedicated report
+/// with full details of each program's behaviour, briefly after execution
+/// ends" — here an MPMD coupling of a producer/consumer pair and two
+/// solvers of very different communication character.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/session.hpp"
+#include "nas/workloads.hpp"
+
+namespace {
+
+/// A master/worker program: rank 0 deals work items, workers reply.
+void master_worker_main(esp::mpi::ProcEnv& env) {
+  const int n = env.world.size();
+  constexpr int kItems = 60;
+  constexpr std::uint64_t kItem = 8 * 1024;
+  std::vector<std::byte> buf(kItem);
+  if (env.world_rank == 0) {
+    int next = 0;
+    for (int i = 0; i < kItems; ++i) {
+      const int w = 1 + next++ % (n - 1);
+      env.world.send(buf.data(), kItem, w, 1);
+      esp::mpi::Status st =
+          env.world.recv(buf.data(), kItem, esp::mpi::kAnySource, 2);
+      (void)st;
+    }
+    for (int w = 1; w < n; ++w) env.world.send(buf.data(), 0, w, 3);  // stop
+  } else {
+    for (;;) {
+      esp::mpi::Status st =
+          env.world.recv(buf.data(), kItem, 0, esp::mpi::kAnyTag);
+      if (st.tag == 3) break;
+      esp::mpi::compute_flops(2e6);
+      env.world.send(buf.data(), kItem, 0, 2);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  esp::SessionConfig cfg;
+  cfg.analyzer_ratio = 8;
+  cfg.output_dir = "multi_report";
+
+  esp::Session session(cfg);
+  const int mw = session.add_application("master_worker", 9,
+                                         master_worker_main);
+  const int cg = session.add_application(
+      "cg_solver", 16,
+      esp::nas::make_workload(
+          {esp::nas::Benchmark::CG, esp::nas::ProblemClass::C, 8}));
+  const int mhd = session.add_application(
+      "eulermhd", 16,
+      esp::nas::make_workload(
+          {esp::nas::Benchmark::EulerMHD, esp::nas::ProblemClass::C, 12}));
+
+  auto results = session.run();
+
+  std::printf("%-14s %6s %10s %14s %12s\n", "application", "ranks", "events",
+              "p2p edges", "walltime");
+  for (int id : {mw, cg, mhd}) {
+    const esp::an::AppResults* r = results->find(id);
+    if (r == nullptr) continue;
+    std::printf("%-14s %6d %10llu %14zu %10.2fms\n", r->name.c_str(), r->size,
+                static_cast<unsigned long long>(r->total_events),
+                r->comm.size(), session.application_walltime(id) * 1e3);
+  }
+  std::puts("\nchaptered report: multi_report/report.md");
+  std::puts("master/worker star topology vs CG's blocky matrix vs the MHD "
+            "torus are visible in each chapter's topology.dot");
+  return 0;
+}

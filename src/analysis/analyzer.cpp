@@ -1,0 +1,238 @@
+#include "analysis/analyzer.hpp"
+
+#include <cstring>
+
+#include "analysis/modules.hpp"
+#include "analysis/modules_ext.hpp"
+#include "analysis/report.hpp"
+
+namespace esp::an {
+
+namespace {
+
+constexpr int kReduceTag = 0x6f300001;
+
+/// Minimal append-only byte writer / reader for the rank-0 reduction.
+struct Writer {
+  std::vector<std::byte> out;
+  template <typename T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    out.insert(out.end(), p, p + sizeof v);
+  }
+};
+
+struct Reader {
+  const std::byte* p;
+  const std::byte* end;
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    if (p + sizeof v <= end) {
+      std::memcpy(&v, p, sizeof v);
+      p += sizeof v;
+    }
+    return v;
+  }
+};
+
+std::vector<std::byte> serialize(const AppResults& a) {
+  Writer w;
+  w.put(static_cast<std::uint32_t>(0x45535032));  // blob version tag
+  w.put(a.total_events);
+  w.put(a.last_event_time);
+  for (const auto& ks : a.per_kind) {
+    w.put(ks.hits);
+    w.put(ks.time);
+    w.put(ks.bytes);
+  }
+  w.put(static_cast<std::uint64_t>(a.comm.size()));
+  for (const auto& [key, cell] : a.comm) {
+    w.put(key);
+    w.put(cell.hits);
+    w.put(cell.bytes);
+    w.put(cell.time);
+  }
+  for (const auto& v : a.density) {
+    w.put(static_cast<std::uint64_t>(v.size()));
+    for (double x : v) w.put(x);
+  }
+  // Extended analyses.
+  w.put(a.temporal.bin_seconds);
+  w.put(static_cast<std::uint64_t>(a.temporal.per_rank.size()));
+  for (const auto& row : a.temporal.per_rank) {
+    w.put(static_cast<std::uint64_t>(row.size()));
+    for (double x : row) w.put(x);
+  }
+  w.put(static_cast<std::uint64_t>(a.waits.late_time_per_rank.size()));
+  for (double x : a.waits.late_time_per_rank) w.put(x);
+  w.put(static_cast<std::uint64_t>(a.waits.pair_wait.size()));
+  for (const auto& [key, t] : a.waits.pair_wait) {
+    w.put(key);
+    w.put(t);
+  }
+  return std::move(w.out);
+}
+
+void merge_serialized(AppResults& out, const std::vector<std::byte>& blob) {
+  Reader r{blob.data(), blob.data() + blob.size()};
+  if (r.get<std::uint32_t>() != 0x45535032) return;  // unknown blob
+  out.total_events += r.get<std::uint64_t>();
+  out.last_event_time = std::max(out.last_event_time, r.get<double>());
+  for (auto& ks : out.per_kind) {
+    ks.hits += r.get<std::uint64_t>();
+    ks.time += r.get<double>();
+    ks.bytes += r.get<std::uint64_t>();
+  }
+  const auto ncomm = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < ncomm; ++i) {
+    const auto key = r.get<std::uint64_t>();
+    auto& cell = out.comm[key];
+    cell.hits += r.get<std::uint64_t>();
+    cell.bytes += r.get<std::uint64_t>();
+    cell.time += r.get<double>();
+  }
+  for (auto& v : out.density) {
+    const auto n = r.get<std::uint64_t>();
+    if (v.size() < n) v.resize(n, 0.0);
+    for (std::uint64_t i = 0; i < n; ++i) v[i] += r.get<double>();
+  }
+  // Extended analyses.
+  out.temporal.bin_seconds = r.get<double>();
+  const auto t_rows = r.get<std::uint64_t>();
+  if (out.temporal.per_rank.size() < t_rows)
+    out.temporal.per_rank.resize(t_rows);
+  for (std::uint64_t i = 0; i < t_rows; ++i) {
+    const auto bins = r.get<std::uint64_t>();
+    auto& row = out.temporal.per_rank[i];
+    if (row.size() < bins) row.resize(bins, 0.0);
+    for (std::uint64_t b = 0; b < bins; ++b) row[b] += r.get<double>();
+  }
+  const auto w_rows = r.get<std::uint64_t>();
+  if (out.waits.late_time_per_rank.size() < w_rows)
+    out.waits.late_time_per_rank.resize(w_rows, 0.0);
+  for (std::uint64_t i = 0; i < w_rows; ++i)
+    out.waits.late_time_per_rank[i] += r.get<double>();
+  const auto n_pairs = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n_pairs; ++i) {
+    const auto key = r.get<std::uint64_t>();
+    out.waits.pair_wait[key] += r.get<double>();
+  }
+}
+
+}  // namespace
+
+void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
+  auto& rt = *env.runtime;
+  auto& rc = mpi::Runtime::self();
+
+  // Application levels: every partition that is not this one.
+  std::vector<AppLevel> levels;
+  for (const auto& p : rt.partitions()) {
+    if (p.id == env.partition->id) continue;
+    levels.push_back({p.id, p.name, p.size});
+  }
+
+  // Additive mapping over all application partitions (Fig. 10), then one
+  // read stream covering every mapped writer.
+  vmpi::Map map;
+  for (const auto& lvl : levels)
+    map.map_partitions(env, lvl.app_id, cfg.map_policy);
+
+  vmpi::Stream stream({cfg.block_size, cfg.n_async, cfg.stream_policy});
+  stream.open_map(env, map, "r");
+
+  bb::Blackboard board(cfg.board);
+  register_dispatcher(board, levels);
+  MpiProfiler profiler;
+  TopologyModule topology;
+  DensityModule density;
+  TemporalMapModule temporal(cfg.temporal_bin_seconds);
+  WaitStateModule waits(rt.machine().config().nic_bandwidth,
+                        rt.machine().config().nic_latency);
+  for (const auto& lvl : levels) {
+    register_unpacker(board, lvl);
+    profiler.register_on(board, lvl);
+    topology.register_on(board, lvl);
+    density.register_on(board, lvl);
+    if (cfg.enable_temporal) temporal.register_on(board, lvl);
+    if (cfg.enable_wait_states) waits.register_on(board, lvl);
+  }
+
+  // Read loop: stream blocks land in fresh buffers that move straight onto
+  // the blackboard (temporary storage), freeing the stream slot. Buffers
+  // are sized from the stream's *adopted* block size: open_map takes the
+  // writers' geometry, which may differ from this analyzer's config.
+  const std::uint64_t block_size = stream.block_size();
+  const double per_event =
+      cfg.per_event_cost / static_cast<double>(cfg.board.workers);
+  for (;;) {
+    auto block = Buffer::make(block_size);
+    const int r = stream.read(block->data(), 1);
+    if (r == 0) break;
+    const auto view = inst::PackView::parse(block->data(), block->size());
+    if (view.valid())
+      rc.advance(static_cast<double>(view.header->event_count) * per_event);
+    board.push(pack_type(), std::move(block));
+  }
+  board.drain();
+  board.stop();
+
+  // Reduce per-application partials onto analyzer rank 0.
+  const mpi::Comm& world = env.world;
+  const int arank = env.world_rank;
+  std::map<int, AppResults> merged_apps;  // rank 0 only
+  for (const auto& lvl : levels) {
+    AppResults local;
+    local.app_id = lvl.app_id;
+    local.name = lvl.name;
+    local.size = lvl.size;
+    profiler.merge_into(local, lvl.app_id);
+    topology.merge_into(local, lvl.app_id);
+    density.merge_into(local, lvl.app_id);
+    if (cfg.enable_temporal) temporal.merge_into(local, lvl.app_id);
+    if (cfg.enable_wait_states) waits.merge_into(local, lvl.app_id);
+    for (auto& v : local.density)
+      if (v.size() < static_cast<std::size_t>(lvl.size))
+        v.resize(static_cast<std::size_t>(lvl.size), 0.0);
+
+    if (arank != 0) {
+      const auto blob = serialize(local);
+      const std::uint64_t n = blob.size();
+      world.psend(&n, sizeof n, 0, kReduceTag);
+      if (n > 0) world.psend(blob.data(), n, 0, kReduceTag);
+      continue;
+    }
+    AppResults merged = std::move(local);
+    for (int src = 1; src < world.size(); ++src) {
+      std::uint64_t n = 0;
+      world.precv(&n, sizeof n, src, kReduceTag);
+      std::vector<std::byte> blob(n);
+      if (n > 0) world.precv(blob.data(), n, src, kReduceTag);
+      merge_serialized(merged, blob);
+    }
+    merged_apps[lvl.app_id] = std::move(merged);
+  }
+
+  if (arank != 0) return;
+
+  // Rank 0 writes the chaptered report and fills the programmatic sink.
+  if (!cfg.output_dir.empty()) {
+    std::vector<const AppResults*> apps;
+    apps.reserve(merged_apps.size());
+    for (const auto& [id, app] : merged_apps) {
+      (void)id;
+      apps.push_back(&app);
+    }
+    write_report(cfg.output_dir, apps);
+  }
+  if (cfg.results) {
+    std::lock_guard lock(cfg.results->mu);
+    for (auto& [id, app] : merged_apps)
+      cfg.results->apps[id] = std::move(app);
+  }
+}
+
+}  // namespace esp::an

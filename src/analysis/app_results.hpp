@@ -1,0 +1,131 @@
+#pragma once
+/// \file app_results.hpp
+/// \brief Final per-application analysis products: what the paper's
+/// profiling report contains (one chapter per instrumented application).
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "instrument/event.hpp"
+
+namespace esp::an {
+
+/// Flat slot index for every event kind (MPI kinds then POSIX kinds).
+inline constexpr std::size_t kMpiKinds =
+    static_cast<std::size_t>(mpi::CallKind::kCount);
+inline constexpr std::size_t kKindSlots = kMpiKinds + 3;
+
+constexpr std::size_t kind_slot(inst::EventKind k) noexcept {
+  const auto v = static_cast<std::uint32_t>(k);
+  if (v < kMpiKinds) return v;
+  return kMpiKinds + (v - static_cast<std::uint32_t>(inst::EventKind::PosixOpen));
+}
+
+const char* kind_slot_name(std::size_t slot) noexcept;
+
+/// Per-call-kind aggregate (the MPI interface profile).
+struct KindStats {
+  std::uint64_t hits = 0;
+  double time = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+/// One cell of the point-to-point communication matrix, weighted "in hits,
+/// total size and total time" (paper §IV-D).
+struct CommCell {
+  std::uint64_t hits = 0;
+  std::uint64_t bytes = 0;
+  double time = 0.0;
+};
+
+/// Density-map metrics (Fig. 18): one value per application rank.
+enum class DensityMetric : std::size_t {
+  SendHits = 0,     ///< Number of MPI_Send-family calls (Fig. 18a).
+  P2pBytes,         ///< Total point-to-point size (Fig. 18b/e).
+  WaitTime,         ///< Time in MPI wait calls (Fig. 18d).
+  CollTime,         ///< Time in collectives (Fig. 18c).
+  PosixBytes,       ///< POSIX IO volume.
+  PosixTime,        ///< POSIX IO time.
+  kCount,
+};
+inline constexpr std::size_t kDensityMetrics =
+    static_cast<std::size_t>(DensityMetric::kCount);
+const char* density_metric_name(DensityMetric m) noexcept;
+
+/// Per-application temporal activity raster (§IV-D "temporal maps"):
+/// rank x time-bin seconds spent inside instrumented calls.
+struct TemporalMap {
+  double bin_seconds = 5e-3;
+  std::vector<std::vector<double>> per_rank;  ///< [rank][bin] seconds.
+
+  std::size_t bins() const {
+    std::size_t n = 0;
+    for (const auto& r : per_rank) n = std::max(n, r.size());
+    return n;
+  }
+};
+
+/// Per-application wait-state summary (late-sender analysis).
+struct WaitStates {
+  /// Seconds of receive-side blocking beyond the modelled wire time.
+  std::vector<double> late_time_per_rank;
+  /// Aggregate wait-state seconds per (waiting rank << 32 | peer) pair.
+  std::map<std::uint64_t, double> pair_wait;
+
+  double total() const {
+    double t = 0;
+    for (double v : late_time_per_rank) t += v;
+    return t;
+  }
+};
+
+/// Everything the analyzer learned about one application.
+struct AppResults {
+  int app_id = -1;
+  std::string name;
+  int size = 0;
+
+  std::array<KindStats, kKindSlots> per_kind{};
+  std::uint64_t total_events = 0;
+  double last_event_time = 0.0;  ///< Max t_end seen (≈ app activity span).
+
+  /// Sparse p2p matrix keyed (src << 32 | dst), src/dst app ranks.
+  std::map<std::uint64_t, CommCell> comm;
+
+  /// Per-rank density vectors, indexed by DensityMetric.
+  std::array<std::vector<double>, kDensityMetrics> density;
+
+  /// Extended analyses (populated when the analyzer enables them).
+  TemporalMap temporal;
+  WaitStates waits;
+
+  static std::uint64_t comm_key(std::int32_t src, std::int32_t dst) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
+  static std::int32_t comm_src(std::uint64_t key) noexcept {
+    return static_cast<std::int32_t>(key >> 32);
+  }
+  static std::int32_t comm_dst(std::uint64_t key) noexcept {
+    return static_cast<std::int32_t>(key & 0xffffffffu);
+  }
+};
+
+/// Thread-safe sink filled by analyzer rank 0 after the final reduction;
+/// gives tests and benches programmatic access to the report content.
+struct AnalysisResults {
+  std::mutex mu;
+  std::map<int, AppResults> apps;  ///< Keyed by app (partition) id.
+
+  AppResults* find(int app_id) {
+    auto it = apps.find(app_id);
+    return it == apps.end() ? nullptr : &it->second;
+  }
+};
+
+}  // namespace esp::an

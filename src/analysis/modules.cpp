@@ -1,0 +1,252 @@
+#include "analysis/modules.hpp"
+
+#include <cstring>
+
+namespace esp::an {
+
+using inst::Event;
+using inst::EventKind;
+using inst::PackView;
+
+const char* kind_slot_name(std::size_t slot) noexcept {
+  if (slot < kMpiKinds)
+    return mpi::call_kind_name(static_cast<mpi::CallKind>(slot));
+  switch (slot - kMpiKinds) {
+    case 0: return "open";
+    case 1: return "read";
+    case 2: return "write";
+    default: return "?";
+  }
+}
+
+const char* density_metric_name(DensityMetric m) noexcept {
+  switch (m) {
+    case DensityMetric::SendHits: return "send_hits";
+    case DensityMetric::P2pBytes: return "p2p_total_size";
+    case DensityMetric::WaitTime: return "wait_time";
+    case DensityMetric::CollTime: return "collective_time";
+    case DensityMetric::PosixBytes: return "posix_total_size";
+    case DensityMetric::PosixTime: return "posix_time";
+    case DensityMetric::kCount: break;
+  }
+  return "?";
+}
+
+void register_dispatcher(bb::Blackboard& board,
+                         const std::vector<AppLevel>& levels) {
+  // app_id -> level type id table, captured by value.
+  std::map<int, bb::TypeId> route;
+  for (const auto& l : levels) route[l.app_id] = pack_type(l);
+  board.register_ks(
+      {"dispatcher",
+       {pack_type()},
+       [route](bb::Blackboard& b, std::span<const bb::DataEntry> entries) {
+         const auto& e = entries[0];
+         PackView v = PackView::parse(e.payload->data(), e.payload->size());
+         if (!v.valid()) return;  // malformed pack: dropped
+         auto it = route.find(static_cast<int>(v.header->app_id));
+         if (it == route.end()) return;
+         // Same payload, re-typed onto the application's level: the
+         // ref-count rises; no copy.
+         b.push(bb::DataEntry(it->second, e.payload));
+       }});
+}
+
+void register_unpacker(bb::Blackboard& board, const AppLevel& level) {
+  const bb::TypeId in = pack_type(level);
+  const bb::TypeId out_mpi = mpi_events_type(level);
+  const bb::TypeId out_posix = posix_events_type(level);
+  board.register_ks(
+      {"unpacker:" + level.name,
+       {in},
+       [out_mpi, out_posix](bb::Blackboard& b,
+                            std::span<const bb::DataEntry> entries) {
+         const auto& e = entries[0];
+         PackView v = PackView::parse(e.payload->data(), e.payload->size());
+         if (!v.valid()) return;
+         const std::uint32_t n = v.header->event_count;
+         std::vector<Event> mpi_events, posix_events;
+         mpi_events.reserve(n);
+         for (std::uint32_t i = 0; i < n; ++i) {
+           const Event& ev = v.events[i];
+           if (inst::is_mpi(ev.kind)) {
+             mpi_events.push_back(ev);
+           } else {
+             posix_events.push_back(ev);
+           }
+         }
+         auto emit = [&](bb::TypeId t, const std::vector<Event>& evs) {
+           if (evs.empty()) return;
+           b.push(t, Buffer::copy_of(evs.data(), evs.size() * sizeof(Event)));
+         };
+         emit(out_mpi, mpi_events);
+         emit(out_posix, posix_events);
+       }});
+}
+
+// ---------------------------------------------------------------------------
+// MpiProfiler
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<MpiProfiler::PerApp> MpiProfiler::app(int id) {
+  std::lock_guard lock(mu_);
+  auto& slot = apps_[id];
+  if (!slot) slot = std::make_shared<PerApp>();
+  return slot;
+}
+
+void MpiProfiler::register_on(bb::Blackboard& board, const AppLevel& level) {
+  auto acc = app(level.app_id);
+  auto op = [acc](bb::Blackboard&, std::span<const bb::DataEntry> entries) {
+    const auto events = entries[0].payload->as<Event>();
+    std::lock_guard lock(acc->mu);
+    for (const Event& ev : events) {
+      auto& ks = acc->per_kind[kind_slot(ev.kind)];
+      ks.hits += 1;
+      ks.time += ev.t_end - ev.t_begin;
+      ks.bytes += ev.bytes;
+      acc->total_events += 1;
+      if (ev.t_end > acc->last_event_time) acc->last_event_time = ev.t_end;
+    }
+  };
+  board.register_ks({"mpi_profiler:" + level.name,
+                     {mpi_events_type(level)},
+                     op});
+  board.register_ks({"posix_profiler:" + level.name,
+                     {posix_events_type(level)},
+                     op});
+}
+
+void MpiProfiler::merge_into(AppResults& out, int app_id) const {
+  std::shared_ptr<PerApp> acc;
+  {
+    std::lock_guard lock(mu_);
+    auto it = apps_.find(app_id);
+    if (it == apps_.end()) return;
+    acc = it->second;
+  }
+  std::lock_guard lock(acc->mu);
+  for (std::size_t i = 0; i < kKindSlots; ++i) {
+    out.per_kind[i].hits += acc->per_kind[i].hits;
+    out.per_kind[i].time += acc->per_kind[i].time;
+    out.per_kind[i].bytes += acc->per_kind[i].bytes;
+  }
+  out.total_events += acc->total_events;
+  if (acc->last_event_time > out.last_event_time)
+    out.last_event_time = acc->last_event_time;
+}
+
+// ---------------------------------------------------------------------------
+// TopologyModule
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<TopologyModule::PerApp> TopologyModule::app(int id) {
+  std::lock_guard lock(mu_);
+  auto& slot = apps_[id];
+  if (!slot) slot = std::make_shared<PerApp>();
+  return slot;
+}
+
+void TopologyModule::register_on(bb::Blackboard& board,
+                                 const AppLevel& level) {
+  auto acc = app(level.app_id);
+  board.register_ks(
+      {"topology:" + level.name,
+       {mpi_events_type(level)},
+       [acc](bb::Blackboard&, std::span<const bb::DataEntry> entries) {
+         const auto events = entries[0].payload->as<Event>();
+         std::lock_guard lock(acc->mu);
+         for (const Event& ev : events) {
+           // Count each transfer once, at the send side.
+           const auto k = inst::to_call_kind(ev.kind);
+           if (k != mpi::CallKind::Send && k != mpi::CallKind::Isend) continue;
+           if (ev.peer < 0) continue;
+           auto& cell = acc->comm[AppResults::comm_key(ev.rank, ev.peer)];
+           cell.hits += 1;
+           cell.bytes += ev.bytes;
+           cell.time += ev.t_end - ev.t_begin;
+         }
+       }});
+}
+
+void TopologyModule::merge_into(AppResults& out, int app_id) const {
+  std::shared_ptr<PerApp> acc;
+  {
+    std::lock_guard lock(mu_);
+    auto it = apps_.find(app_id);
+    if (it == apps_.end()) return;
+    acc = it->second;
+  }
+  std::lock_guard lock(acc->mu);
+  for (const auto& [key, cell] : acc->comm) {
+    auto& c = out.comm[key];
+    c.hits += cell.hits;
+    c.bytes += cell.bytes;
+    c.time += cell.time;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DensityModule
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<DensityModule::PerApp> DensityModule::app(int id, int size) {
+  std::lock_guard lock(mu_);
+  auto& slot = apps_[id];
+  if (!slot) {
+    slot = std::make_shared<PerApp>();
+    for (auto& v : slot->density)
+      v.assign(static_cast<std::size_t>(size), 0.0);
+  }
+  return slot;
+}
+
+void DensityModule::register_on(bb::Blackboard& board, const AppLevel& level) {
+  auto acc = app(level.app_id, level.size);
+  auto op = [acc](bb::Blackboard&, std::span<const bb::DataEntry> entries) {
+    const auto events = entries[0].payload->as<Event>();
+    std::lock_guard lock(acc->mu);
+    auto at = [&](DensityMetric m) -> std::vector<double>& {
+      return acc->density[static_cast<std::size_t>(m)];
+    };
+    for (const Event& ev : events) {
+      const auto r = static_cast<std::size_t>(ev.rank);
+      if (r >= at(DensityMetric::SendHits).size()) continue;
+      const double dt = ev.t_end - ev.t_begin;
+      if (inst::is_mpi(ev.kind)) {
+        const auto k = inst::to_call_kind(ev.kind);
+        if (k == mpi::CallKind::Send || k == mpi::CallKind::Isend) {
+          at(DensityMetric::SendHits)[r] += 1.0;
+          at(DensityMetric::P2pBytes)[r] += static_cast<double>(ev.bytes);
+        }
+        if (mpi::is_wait(k)) at(DensityMetric::WaitTime)[r] += dt;
+        if (mpi::is_collective(k)) at(DensityMetric::CollTime)[r] += dt;
+      } else {
+        at(DensityMetric::PosixBytes)[r] += static_cast<double>(ev.bytes);
+        at(DensityMetric::PosixTime)[r] += dt;
+      }
+    }
+  };
+  board.register_ks({"density:" + level.name, {mpi_events_type(level)}, op});
+  board.register_ks(
+      {"density_posix:" + level.name, {posix_events_type(level)}, op});
+}
+
+void DensityModule::merge_into(AppResults& out, int app_id) const {
+  std::shared_ptr<PerApp> acc;
+  {
+    std::lock_guard lock(mu_);
+    auto it = apps_.find(app_id);
+    if (it == apps_.end()) return;
+    acc = it->second;
+  }
+  std::lock_guard lock(acc->mu);
+  for (std::size_t m = 0; m < kDensityMetrics; ++m) {
+    auto& dst = out.density[m];
+    const auto& src = acc->density[m];
+    if (dst.size() < src.size()) dst.resize(src.size(), 0.0);
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] += src[i];
+  }
+}
+
+}  // namespace esp::an

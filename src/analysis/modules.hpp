@@ -1,0 +1,119 @@
+#pragma once
+/// \file modules.hpp
+/// \brief Knowledge-source analysis modules (paper Fig. 4 and §IV-D).
+///
+/// Each module owns per-application accumulators and registers one KS per
+/// blackboard level (= per instrumented application, Fig. 5). The data
+/// flow on the blackboard is:
+///
+///   "event_pack" (global)  --DispatcherKs-->  (level, "event_pack")
+///   (level, "event_pack")  --UnpackerKs--->   (level, "mpi_events") +
+///                                             (level, "posix_events")
+///   (level, "mpi_events")  --> MpiProfiler, TopologyModule, DensityModule
+///   (level, "posix_events")--> MpiProfiler, DensityModule
+///
+/// Modules are orthogonal and independently registrable, mirroring the
+/// paper's dynamically-loaded KS shared libraries.
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "blackboard/blackboard.hpp"
+#include "analysis/app_results.hpp"
+
+namespace esp::an {
+
+/// Static description of one application level on the blackboard.
+struct AppLevel {
+  int app_id = -1;
+  std::string name;  ///< Level name (partition name).
+  int size = 0;      ///< Application world size.
+};
+
+inline bb::TypeId pack_type() { return bb::type_id("event_pack"); }
+inline bb::TypeId pack_type(const AppLevel& lvl) {
+  return bb::type_id(lvl.name, "event_pack");
+}
+inline bb::TypeId mpi_events_type(const AppLevel& lvl) {
+  return bb::type_id(lvl.name, "mpi_events");
+}
+inline bb::TypeId posix_events_type(const AppLevel& lvl) {
+  return bb::type_id(lvl.name, "posix_events");
+}
+
+/// Routes raw packs to their application's blackboard level ("a new KS in
+/// charge of dispatching each event pack to its associated blackboard
+/// level", Fig. 5).
+void register_dispatcher(bb::Blackboard& board,
+                         const std::vector<AppLevel>& levels);
+
+/// Splits a pack into typed event arrays on its level (Fig. 4 "KS
+/// Unpacker").
+void register_unpacker(bb::Blackboard& board, const AppLevel& level);
+
+/// Base class for modules that accumulate per-application state.
+class Module {
+ public:
+  virtual ~Module() = default;
+  /// Register this module's KSs for one application level.
+  virtual void register_on(bb::Blackboard& board, const AppLevel& level) = 0;
+  /// Fold this module's partial results into `out` (called after drain on
+  /// each analyzer rank; results from distinct ranks are additive).
+  virtual void merge_into(AppResults& out, int app_id) const = 0;
+};
+
+/// MPI interface profile: hits / time / bytes per call kind, per app.
+class MpiProfiler : public Module {
+ public:
+  void register_on(bb::Blackboard& board, const AppLevel& level) override;
+  void merge_into(AppResults& out, int app_id) const override;
+
+ private:
+  struct PerApp {
+    mutable std::mutex mu;
+    std::array<KindStats, kKindSlots> per_kind{};
+    std::uint64_t total_events = 0;
+    double last_event_time = 0.0;
+  };
+  mutable std::mutex mu_;
+  std::map<int, std::shared_ptr<PerApp>> apps_;
+  std::shared_ptr<PerApp> app(int id);
+  friend class ModuleTestPeer;
+};
+
+/// Topological module: communication matrices/graphs weighted in hits,
+/// total size and total time for point-to-point communications (Fig. 17).
+class TopologyModule : public Module {
+ public:
+  void register_on(bb::Blackboard& board, const AppLevel& level) override;
+  void merge_into(AppResults& out, int app_id) const override;
+
+ private:
+  struct PerApp {
+    mutable std::mutex mu;
+    std::map<std::uint64_t, CommCell> comm;
+  };
+  mutable std::mutex mu_;
+  std::map<int, std::shared_ptr<PerApp>> apps_;
+  std::shared_ptr<PerApp> app(int id);
+};
+
+/// Density-map module: per-rank spatial metrics (Fig. 18).
+class DensityModule : public Module {
+ public:
+  void register_on(bb::Blackboard& board, const AppLevel& level) override;
+  void merge_into(AppResults& out, int app_id) const override;
+
+ private:
+  struct PerApp {
+    mutable std::mutex mu;
+    std::array<std::vector<double>, kDensityMetrics> density;
+  };
+  mutable std::mutex mu_;
+  std::map<int, std::shared_ptr<PerApp>> apps_;
+  std::shared_ptr<PerApp> app(int id, int size);
+};
+
+}  // namespace esp::an

@@ -1,0 +1,144 @@
+#include "analysis/modules_ext.hpp"
+
+#include <algorithm>
+
+namespace esp::an {
+
+using inst::Event;
+
+// ---------------------------------------------------------------------------
+// TemporalMapModule
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<TemporalMapModule::PerApp> TemporalMapModule::app(int id,
+                                                                  int size) {
+  std::lock_guard lock(mu_);
+  auto& slot = apps_[id];
+  if (!slot) {
+    slot = std::make_shared<PerApp>();
+    slot->map.bin_seconds = bin_seconds_;
+    slot->map.per_rank.resize(static_cast<std::size_t>(size));
+  }
+  return slot;
+}
+
+void TemporalMapModule::register_on(bb::Blackboard& board,
+                                    const AppLevel& level) {
+  auto acc = app(level.app_id, level.size);
+  auto op = [acc](bb::Blackboard&, std::span<const bb::DataEntry> entries) {
+    const auto events = entries[0].payload->as<Event>();
+    std::lock_guard lock(acc->mu);
+    const double bin = acc->map.bin_seconds;
+    for (const Event& ev : events) {
+      const auto r = static_cast<std::size_t>(ev.rank);
+      if (r >= acc->map.per_rank.size()) continue;
+      auto& row = acc->map.per_rank[r];
+      // Distribute [t_begin, t_end) over the bins it overlaps.
+      double t = std::max(0.0, ev.t_begin);
+      const double end = std::max(t, ev.t_end);
+      while (t < end) {
+        const auto b = static_cast<std::size_t>(t / bin);
+        const double bin_end = (static_cast<double>(b) + 1.0) * bin;
+        const double chunk = std::min(end, bin_end) - t;
+        if (row.size() <= b) row.resize(b + 1, 0.0);
+        row[b] += chunk;
+        t += chunk;
+        if (chunk <= 0) break;  // numerical guard
+      }
+    }
+  };
+  board.register_ks(
+      {"temporal:" + level.name, {mpi_events_type(level)}, op});
+  board.register_ks(
+      {"temporal_posix:" + level.name, {posix_events_type(level)}, op});
+}
+
+void TemporalMapModule::merge_into(AppResults& res, int app_id) const {
+  TemporalMap& out = res.temporal;
+  std::shared_ptr<PerApp> acc;
+  {
+    std::lock_guard lock(mu_);
+    auto it = apps_.find(app_id);
+    if (it == apps_.end()) return;
+    acc = it->second;
+  }
+  std::lock_guard lock(acc->mu);
+  out.bin_seconds = acc->map.bin_seconds;
+  if (out.per_rank.size() < acc->map.per_rank.size())
+    out.per_rank.resize(acc->map.per_rank.size());
+  for (std::size_t r = 0; r < acc->map.per_rank.size(); ++r) {
+    const auto& src = acc->map.per_rank[r];
+    auto& dst = out.per_rank[r];
+    if (dst.size() < src.size()) dst.resize(src.size(), 0.0);
+    for (std::size_t b = 0; b < src.size(); ++b) dst[b] += src[b];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WaitStateModule
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<WaitStateModule::PerApp> WaitStateModule::app(int id,
+                                                              int size) {
+  std::lock_guard lock(mu_);
+  auto& slot = apps_[id];
+  if (!slot) {
+    slot = std::make_shared<PerApp>();
+    slot->waits.late_time_per_rank.assign(static_cast<std::size_t>(size),
+                                          0.0);
+  }
+  return slot;
+}
+
+void WaitStateModule::register_on(bb::Blackboard& board,
+                                  const AppLevel& level) {
+  auto acc = app(level.app_id, level.size);
+  const double bw = bandwidth_;
+  const double lat = latency_;
+  const double thr = threshold_;
+  board.register_ks(
+      {"wait_state:" + level.name,
+       {mpi_events_type(level)},
+       [acc, bw, lat, thr](bb::Blackboard&,
+                           std::span<const bb::DataEntry> entries) {
+         const auto events = entries[0].payload->as<Event>();
+         std::lock_guard lock(acc->mu);
+         for (const Event& ev : events) {
+           const auto k = inst::to_call_kind(ev.kind);
+           // Receive-side completions: blocking receives and waits that
+           // delivered data from an identified peer.
+           const bool recv_side =
+               k == mpi::CallKind::Recv ||
+               (k == mpi::CallKind::Wait && ev.peer >= 0 && ev.bytes > 0);
+           if (!recv_side || ev.peer < 0) continue;
+           const double wire =
+               lat + static_cast<double>(ev.bytes) / bw;
+           const double excess = (ev.t_end - ev.t_begin) - wire;
+           if (excess <= thr) continue;
+           const auto r = static_cast<std::size_t>(ev.rank);
+           if (r >= acc->waits.late_time_per_rank.size()) continue;
+           acc->waits.late_time_per_rank[r] += excess;
+           acc->waits.pair_wait[AppResults::comm_key(ev.rank, ev.peer)] +=
+               excess;
+         }
+       }});
+}
+
+void WaitStateModule::merge_into(AppResults& res, int app_id) const {
+  WaitStates& out = res.waits;
+  std::shared_ptr<PerApp> acc;
+  {
+    std::lock_guard lock(mu_);
+    auto it = apps_.find(app_id);
+    if (it == apps_.end()) return;
+    acc = it->second;
+  }
+  std::lock_guard lock(acc->mu);
+  if (out.late_time_per_rank.size() < acc->waits.late_time_per_rank.size())
+    out.late_time_per_rank.resize(acc->waits.late_time_per_rank.size(), 0.0);
+  for (std::size_t i = 0; i < acc->waits.late_time_per_rank.size(); ++i)
+    out.late_time_per_rank[i] += acc->waits.late_time_per_rank[i];
+  for (const auto& [key, t] : acc->waits.pair_wait) out.pair_wait[key] += t;
+}
+
+}  // namespace esp::an

@@ -1,0 +1,67 @@
+#pragma once
+/// \file modules_ext.hpp
+/// \brief Extended analysis modules.
+///
+/// Two analyses beyond the three stock modules:
+///  - TemporalMapModule — the paper's §IV-D output list includes
+///    "temporal and spatial maps for MPI and POSIX calls"; this module
+///    produces the temporal ones: a rank × time-bin raster of the time
+///    fraction spent inside instrumented calls;
+///  - WaitStateModule — the paper's future work ("we are working on a
+///    wait-state analysis which will take advantage of a distributed
+///    blackboard"): a late-sender detector that, per receive-side event,
+///    subtracts the modelled wire time from the observed duration and
+///    attributes the excess as wait-state time to the (src, dst) pair.
+///
+/// Both register per application level, exactly like the stock modules.
+
+#include "analysis/modules.hpp"
+
+namespace esp::an {
+
+class TemporalMapModule : public Module {
+ public:
+  explicit TemporalMapModule(double bin_seconds = 5e-3)
+      : bin_seconds_(bin_seconds) {}
+  void register_on(bb::Blackboard& board, const AppLevel& level) override;
+  /// Folds the raster into out.temporal.
+  void merge_into(AppResults& out, int app_id) const override;
+
+ private:
+  struct PerApp {
+    mutable std::mutex mu;
+    TemporalMap map;
+  };
+  double bin_seconds_;
+  mutable std::mutex mu_;
+  std::map<int, std::shared_ptr<PerApp>> apps_;
+  std::shared_ptr<PerApp> app(int id, int size);
+};
+
+class WaitStateModule : public Module {
+ public:
+  /// `wire_bandwidth`/`wire_latency`: the transfer model used to decide
+  /// how much of a receive's duration was legitimate wire time.
+  WaitStateModule(double wire_bandwidth = 1.25e9, double wire_latency = 1.5e-6,
+                  double threshold = 5e-6)
+      : bandwidth_(wire_bandwidth),
+        latency_(wire_latency),
+        threshold_(threshold) {}
+  void register_on(bb::Blackboard& board, const AppLevel& level) override;
+  /// Folds the summary into out.waits.
+  void merge_into(AppResults& out, int app_id) const override;
+
+ private:
+  struct PerApp {
+    mutable std::mutex mu;
+    WaitStates waits;
+  };
+  double bandwidth_;
+  double latency_;
+  double threshold_;
+  mutable std::mutex mu_;
+  std::map<int, std::shared_ptr<PerApp>> apps_;
+  std::shared_ptr<PerApp> app(int id, int size);
+};
+
+}  // namespace esp::an

@@ -1,0 +1,194 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/units.hpp"
+
+namespace esp::an {
+
+Matrix density_grid(const std::vector<double>& per_rank) {
+  const std::size_t n = per_rank.size();
+  if (n == 0) return Matrix(1, 1);
+  const auto cols =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const std::size_t rows = (n + cols - 1) / cols;
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < n; ++i) m.at(i / cols, i % cols) = per_rank[i];
+  return m;
+}
+
+Matrix dense_comm_matrix(const AppResults& app, CommWeight w) {
+  const auto n = static_cast<std::size_t>(app.size);
+  Matrix m(n, n);
+  for (const auto& [key, cell] : app.comm) {
+    const auto s = static_cast<std::size_t>(AppResults::comm_src(key));
+    const auto d = static_cast<std::size_t>(AppResults::comm_dst(key));
+    if (s >= n || d >= n) continue;
+    switch (w) {
+      case CommWeight::Hits: m.at(s, d) = static_cast<double>(cell.hits); break;
+      case CommWeight::Bytes: m.at(s, d) = static_cast<double>(cell.bytes); break;
+      case CommWeight::Time: m.at(s, d) = cell.time; break;
+    }
+  }
+  return m;
+}
+
+namespace {
+
+bool write_profile_csv(const std::string& path, const AppResults& app) {
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t i = 0; i < kKindSlots; ++i) {
+    const auto& ks = app.per_kind[i];
+    if (ks.hits == 0) continue;
+    rows.push_back({kind_slot_name(i), std::to_string(ks.hits),
+                    std::to_string(ks.time), std::to_string(ks.bytes)});
+  }
+  return write_csv(path, {"call", "hits", "time_s", "bytes"}, rows);
+}
+
+void chapter(std::ofstream& md, const AppResults& app,
+             const std::string& app_dir_rel) {
+  md << "\n## Application: " << app.name << "\n\n"
+     << "- processes: " << app.size << "\n"
+     << "- events analysed: " << app.total_events << "\n"
+     << "- last event at: " << format_time(app.last_event_time) << "\n\n";
+
+  md << "### MPI interface profile\n\n"
+     << "| call | hits | total time | total size |\n"
+     << "|---|---:|---:|---:|\n";
+  for (std::size_t i = 0; i < kKindSlots; ++i) {
+    const auto& ks = app.per_kind[i];
+    if (ks.hits == 0) continue;
+    md << "| " << kind_slot_name(i) << " | " << ks.hits << " | "
+       << format_time(ks.time) << " | " << format_bytes(static_cast<double>(ks.bytes))
+       << " |\n";
+  }
+
+  std::uint64_t p2p_bytes = 0, p2p_hits = 0;
+  for (const auto& [key, cell] : app.comm) {
+    (void)key;
+    p2p_bytes += cell.bytes;
+    p2p_hits += cell.hits;
+  }
+  md << "\n### Topology\n\n"
+     << "- point-to-point messages: " << p2p_hits << " ("
+     << format_bytes(static_cast<double>(p2p_bytes)) << ")\n"
+     << "- matrix: [" << app_dir_rel << "/comm_bytes.csv]("
+     << app_dir_rel << "/comm_bytes.csv), heat map ["
+     << app_dir_rel << "/comm_bytes.ppm](" << app_dir_rel
+     << "/comm_bytes.ppm)\n"
+     << "- graph: [" << app_dir_rel << "/topology.dot](" << app_dir_rel
+     << "/topology.dot) (render with `dot -Tpng`)\n";
+
+  if (!app.waits.pair_wait.empty()) {
+    md << "\n### Wait states (late senders)\n\n"
+       << "- total wait-state time: " << format_time(app.waits.total())
+       << "\n\n| waiting rank | peer | blocked time |\n|---:|---:|---:|\n";
+    // Top offending pairs, largest first.
+    std::vector<std::pair<std::uint64_t, double>> pairs(
+        app.waits.pair_wait.begin(), app.waits.pair_wait.end());
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    const std::size_t top = std::min<std::size_t>(pairs.size(), 10);
+    for (std::size_t i = 0; i < top; ++i) {
+      md << "| " << AppResults::comm_src(pairs[i].first) << " | "
+         << AppResults::comm_dst(pairs[i].first) << " | "
+         << format_time(pairs[i].second) << " |\n";
+    }
+  }
+
+  if (app.temporal.bins() > 0) {
+    md << "\n### Temporal map\n\n- " << app.temporal.per_rank.size()
+       << " ranks x " << app.temporal.bins() << " bins of "
+       << format_time(app.temporal.bin_seconds) << " — ["
+       << app_dir_rel << "/temporal_map.ppm](" << app_dir_rel
+       << "/temporal_map.ppm)\n";
+  }
+
+  md << "\n### Density maps\n\n";
+  for (std::size_t m = 0; m < kDensityMetrics; ++m) {
+    const auto& v = app.density[m];
+    double lo = 0, hi = 0, sum = 0;
+    if (!v.empty()) {
+      lo = hi = v[0];
+      for (double x : v) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+        sum += x;
+      }
+    }
+    if (sum == 0) continue;
+    const char* name = density_metric_name(static_cast<DensityMetric>(m));
+    md << "- **" << name << "**: min " << lo << ", max " << hi << " ["
+       << app_dir_rel << "/density_" << name << ".ppm](" << app_dir_rel
+       << "/density_" << name << ".ppm)\n";
+  }
+}
+
+}  // namespace
+
+bool write_report(const std::string& output_dir,
+                  const std::vector<const AppResults*>& apps) {
+  if (!ensure_directory(output_dir)) return false;
+  std::ofstream md(output_dir + "/report.md");
+  if (!md) return false;
+  md << "# esperf online profiling report\n\n"
+     << "Generated by the distributed analysis engine; one chapter per "
+        "instrumented application.\n";
+
+  bool ok = true;
+  for (const AppResults* app : apps) {
+    const std::string dir = output_dir + "/" + app->name;
+    ok = ensure_directory(dir) && ok;
+
+    ok = write_profile_csv(dir + "/profile.csv", *app) && ok;
+
+    const Matrix hits = dense_comm_matrix(*app, CommWeight::Hits);
+    const Matrix bytes = dense_comm_matrix(*app, CommWeight::Bytes);
+    const Matrix time = dense_comm_matrix(*app, CommWeight::Time);
+    ok = write_csv(dir + "/comm_hits.csv", hits) && ok;
+    ok = write_csv(dir + "/comm_bytes.csv", bytes) && ok;
+    ok = write_csv(dir + "/comm_time.csv", time) && ok;
+    const int scale = app->size <= 64 ? 8 : 1;
+    ok = write_ppm_heatmap(dir + "/comm_bytes.ppm", bytes, true, scale) && ok;
+    ok = write_dot_graph(dir + "/topology.dot", bytes, app->name) && ok;
+
+    for (std::size_t m = 0; m < kDensityMetrics; ++m) {
+      const auto& v = app->density[m];
+      double sum = 0;
+      for (double x : v) sum += x;
+      if (sum == 0) continue;
+      const char* name = density_metric_name(static_cast<DensityMetric>(m));
+      const Matrix grid = density_grid(v);
+      const int gscale = app->size <= 4096 ? 4 : 1;
+      ok = write_csv(dir + "/density_" + name + ".csv", grid) && ok;
+      ok = write_ppm_heatmap(dir + "/density_" + name + ".ppm", grid, false,
+                             gscale) &&
+           ok;
+    }
+    if (app->temporal.bins() > 0) {
+      Matrix tm(app->temporal.per_rank.size(), app->temporal.bins());
+      for (std::size_t row = 0; row < app->temporal.per_rank.size(); ++row)
+        for (std::size_t b = 0; b < app->temporal.per_rank[row].size(); ++b)
+          tm.at(row, b) = app->temporal.per_rank[row][b];
+      ok = write_csv(dir + "/temporal_map.csv", tm) && ok;
+      ok = write_ppm_heatmap(dir + "/temporal_map.ppm", tm, false,
+                             app->size <= 64 ? 4 : 1) &&
+           ok;
+    }
+    if (!app->waits.late_time_per_rank.empty() && app->waits.total() > 0) {
+      const Matrix wg = density_grid(app->waits.late_time_per_rank);
+      ok = write_csv(dir + "/wait_states.csv", wg) && ok;
+      ok = write_ppm_heatmap(dir + "/wait_states.ppm", wg, false,
+                             app->size <= 4096 ? 4 : 1) &&
+           ok;
+    }
+    chapter(md, *app, app->name);
+  }
+  return ok && static_cast<bool>(md);
+}
+
+}  // namespace esp::an

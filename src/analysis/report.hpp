@@ -1,0 +1,36 @@
+#pragma once
+/// \file report.hpp
+/// \brief Profiling-report generation: one chapter per instrumented
+/// application (paper §IV-D), with communication matrices (CSV + PPM),
+/// topology graphs (Graphviz DOT) and density maps (CSV + PPM).
+
+#include <string>
+#include <vector>
+
+#include "analysis/app_results.hpp"
+#include "common/io_writers.hpp"
+
+namespace esp::an {
+
+using esp::Matrix;
+
+/// Write the full multi-application report under `output_dir`:
+///   output_dir/report.md               — the chaptered document
+///   output_dir/<app>/profile.csv       — per-call-kind table
+///   output_dir/<app>/comm_{hits,bytes,time}.csv
+///   output_dir/<app>/comm_bytes.ppm    — matrix heat map (Fig. 17a)
+///   output_dir/<app>/topology.dot      — weighted graph (Fig. 17b-e)
+///   output_dir/<app>/density_<metric>.{csv,ppm}  — Fig. 18
+/// Returns false when any file could not be written.
+bool write_report(const std::string& output_dir,
+                  const std::vector<const AppResults*>& apps);
+
+/// Lay a per-rank vector out as a near-square grid (the paper's density
+/// maps render rank space as a 2D raster).
+Matrix density_grid(const std::vector<double>& per_rank);
+
+/// Densify the sparse comm matrix (size x size) for one weight.
+enum class CommWeight { Hits, Bytes, Time };
+Matrix dense_comm_matrix(const AppResults& app, CommWeight w);
+
+}  // namespace esp::an

@@ -1,0 +1,86 @@
+#include "analysis/trace_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace esp::an {
+
+TraceFilter filter_kinds(std::vector<inst::EventKind> kinds) {
+  return [kinds = std::move(kinds)](const inst::Event& ev) {
+    return std::find(kinds.begin(), kinds.end(), ev.kind) != kinds.end();
+  };
+}
+
+TraceFilter filter_ranks(int min_rank, int max_rank) {
+  return [min_rank, max_rank](const inst::Event& ev) {
+    return ev.rank >= min_rank && ev.rank <= max_rank;
+  };
+}
+
+void TraceExport::register_on(bb::Blackboard& board, const AppLevel& level) {
+  const auto app_id = static_cast<std::uint32_t>(level.app_id);
+  auto op = [this, app_id](bb::Blackboard&,
+                           std::span<const bb::DataEntry> entries) {
+    const auto events = entries[0].payload->as<inst::Event>();
+    std::lock_guard lock(mu_);
+    for (const inst::Event& ev : events) {
+      if (filter_ && !filter_(ev)) {
+        ++dropped_;
+        continue;
+      }
+      EtfRecord rec;
+      rec.app_id = app_id;
+      rec.event = ev;
+      records_.push_back(rec);
+    }
+  };
+  board.register_ks(
+      {"trace_export:" + level.name, {mpi_events_type(level)}, op});
+  board.register_ks(
+      {"trace_export_posix:" + level.name, {posix_events_type(level)}, op});
+}
+
+std::vector<EtfRecord> TraceExport::records() const {
+  std::lock_guard lock(mu_);
+  return records_;
+}
+
+std::uint64_t TraceExport::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+bool TraceExport::write(const std::string& path, int app_id) const {
+  std::lock_guard lock(mu_);
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  std::vector<const EtfRecord*> selected;
+  selected.reserve(records_.size());
+  for (const auto& r : records_) {
+    if (app_id >= 0 && r.app_id != static_cast<std::uint32_t>(app_id))
+      continue;
+    selected.push_back(&r);
+  }
+  EtfHeader h;
+  h.app_id = app_id >= 0 ? static_cast<std::uint32_t>(app_id) : ~0u;
+  h.record_count = selected.size();
+  os.write(reinterpret_cast<const char*>(&h), sizeof h);
+  for (const auto* r : selected)
+    os.write(reinterpret_cast<const char*>(r), sizeof *r);
+  return static_cast<bool>(os);
+}
+
+bool TraceReader::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  is.read(reinterpret_cast<char*>(&header_), sizeof header_);
+  if (!is || header_.magic != EtfHeader::kMagic || header_.version != 1)
+    return false;
+  records_.resize(header_.record_count);
+  is.read(reinterpret_cast<char*>(records_.data()),
+          static_cast<std::streamsize>(records_.size() * sizeof(EtfRecord)));
+  return is.gcount() ==
+         static_cast<std::streamsize>(records_.size() * sizeof(EtfRecord));
+}
+
+}  // namespace esp::an

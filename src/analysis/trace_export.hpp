@@ -1,0 +1,91 @@
+#pragma once
+/// \file trace_export.hpp
+/// \brief Selective trace export — the paper's "IO proxy" future work:
+/// "we are already working on the implementation of a module, acting as
+/// an IO proxy, to generate selective traces in the OTF2 format in order
+/// to combine our analysis with existing tools such as Vampir".
+///
+/// TraceExport is a blackboard knowledge source that filters the event
+/// stream by kind and/or rank and appends the survivors to a compact
+/// binary trace (ETF — "esperf trace format"), so a downstream
+/// post-mortem viewer can replay exactly the slice of interest while the
+/// online analysis keeps running. A TraceReader loads ETF files back.
+///
+/// ETF layout (little-endian, host structs — the same "C structure is
+/// directly sent" philosophy as the stream protocol):
+///   [EtfHeader][EtfRecord...]
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/modules.hpp"
+
+namespace esp::an {
+
+struct EtfHeader {
+  std::uint32_t magic = kMagic;
+  std::uint32_t version = 1;
+  std::uint32_t app_id = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t record_count = 0;
+
+  static constexpr std::uint32_t kMagic = 0x31465445;  // "ETF1"
+};
+static_assert(std::is_trivially_copyable_v<EtfHeader>);
+
+struct EtfRecord {
+  std::uint32_t app_id = 0;
+  std::uint32_t pad = 0;
+  inst::Event event;
+};
+static_assert(std::is_trivially_copyable_v<EtfRecord>);
+
+/// Event filter: return true to keep. Default keeps everything.
+using TraceFilter = std::function<bool(const inst::Event&)>;
+
+/// Convenience filters.
+TraceFilter filter_kinds(std::vector<inst::EventKind> kinds);
+TraceFilter filter_ranks(int min_rank, int max_rank);
+
+/// The IO-proxy knowledge source. Thread-safe; one instance may serve
+/// several levels (records carry the app id).
+class TraceExport {
+ public:
+  explicit TraceExport(TraceFilter filter = nullptr)
+      : filter_(std::move(filter)) {}
+
+  /// Register the collecting KS for one application level.
+  void register_on(bb::Blackboard& board, const AppLevel& level);
+
+  /// Records collected so far (snapshot).
+  std::vector<EtfRecord> records() const;
+  std::uint64_t dropped() const;
+
+  /// Write one application's records (or all with app_id = -1) as an ETF
+  /// file. Returns false on IO failure.
+  bool write(const std::string& path, int app_id = -1) const;
+
+ private:
+  TraceFilter filter_;
+  mutable std::mutex mu_;
+  std::vector<EtfRecord> records_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Post-mortem reader for ETF files.
+class TraceReader {
+ public:
+  /// Load a trace; returns false on missing/corrupt file.
+  bool load(const std::string& path);
+
+  const EtfHeader& header() const noexcept { return header_; }
+  const std::vector<EtfRecord>& records() const noexcept { return records_; }
+
+ private:
+  EtfHeader header_;
+  std::vector<EtfRecord> records_;
+};
+
+}  // namespace esp::an

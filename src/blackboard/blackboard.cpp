@@ -1,0 +1,171 @@
+#include "blackboard/blackboard.hpp"
+
+#include <thread>
+
+namespace esp::bb {
+
+Blackboard::Blackboard(BlackboardConfig cfg) : cfg_(cfg) {
+  if (cfg_.workers <= 0) cfg_.workers = 1;
+  if (cfg_.fifo_count <= 0) cfg_.fifo_count = 1;
+  fifos_.reserve(static_cast<std::size_t>(cfg_.fifo_count));
+  for (int i = 0; i < cfg_.fifo_count; ++i)
+    fifos_.push_back(std::make_unique<Fifo>());
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+Blackboard::~Blackboard() { stop(); }
+
+KsId Blackboard::register_ks(KsSpec spec) {
+  auto ks = std::make_shared<KsState>();
+  ks->id = next_ks_id_.fetch_add(1);
+  ks->name = std::move(spec.name);
+  ks->sensitivities = std::move(spec.sensitivities);
+  ks->operation = std::move(spec.operation);
+  for (TypeId t : ks->sensitivities) ks->multiplicity[t] += 1;
+
+  {
+    std::unique_lock lock(index_mu_);
+    ks_by_id_.emplace(ks->id, ks);
+    for (const auto& [t, mult] : ks->multiplicity) {
+      (void)mult;
+      index_[t].push_back(ks);
+    }
+  }
+  ks_registered_.fetch_add(1);
+  return ks->id;
+}
+
+void Blackboard::remove_ks(KsId id) {
+  std::shared_ptr<KsState> ks;
+  {
+    std::unique_lock lock(index_mu_);
+    auto it = ks_by_id_.find(id);
+    if (it == ks_by_id_.end()) return;
+    ks = it->second;
+    ks_by_id_.erase(it);
+    for (const auto& [t, mult] : ks->multiplicity) {
+      (void)mult;
+      auto idx = index_.find(t);
+      if (idx == index_.end()) continue;
+      auto& vec = idx->second;
+      std::erase_if(vec, [&](const auto& p) { return p->id == id; });
+      if (vec.empty()) index_.erase(idx);
+    }
+  }
+  ks->alive.store(false, std::memory_order_release);
+  ks_removed_.fetch_add(1);
+}
+
+void Blackboard::push(DataEntry entry) {
+  entries_pushed_.fetch_add(1);
+  // Snapshot interested KSs under the shared lock; trigger outside it so
+  // operations registered concurrently cannot deadlock the index.
+  std::vector<std::shared_ptr<KsState>> interested;
+  {
+    std::shared_lock lock(index_mu_);
+    auto it = index_.find(entry.type);
+    if (it == index_.end()) return;  // nobody listens: entry is dropped
+    interested = it->second;
+  }
+  for (auto& ks : interested) {
+    if (!ks->alive.load(std::memory_order_acquire)) continue;
+    Job job;
+    {
+      std::lock_guard lock(ks->mu);
+      ks->pending[entry.type].push_back(entry);
+      // Last unsatisfied sensitivity? Collect one job's worth of entries.
+      bool satisfied = true;
+      for (const auto& [t, need] : ks->multiplicity) {
+        if (ks->pending[t].size() < need) {
+          satisfied = false;
+          break;
+        }
+      }
+      if (!satisfied) continue;
+      job.ks = ks;
+      job.entries.reserve(ks->sensitivities.size());
+      for (TypeId t : ks->sensitivities) {
+        auto& q = ks->pending[t];
+        job.entries.push_back(std::move(q.front()));
+        q.pop_front();
+      }
+    }
+    enqueue_job(std::move(job));
+  }
+}
+
+void Blackboard::enqueue_job(Job job) {
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  const std::size_t idx =
+      mix64(rr_seed_.fetch_add(0x9e3779b9)) % fifos_.size();
+  {
+    std::lock_guard lock(fifos_[idx]->mu);
+    fifos_[idx]->jobs.push_back(std::move(job));
+  }
+  wake_cv_.notify_one();
+}
+
+bool Blackboard::try_pop_job(Job& out, std::size_t start) {
+  for (std::size_t k = 0; k < fifos_.size(); ++k) {
+    auto& f = *fifos_[(start + k) % fifos_.size()];
+    std::lock_guard lock(f.mu);
+    if (!f.jobs.empty()) {
+      out = std::move(f.jobs.front());
+      f.jobs.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Blackboard::worker_loop(int worker_index) {
+  Rng rng(mix64(0x9e3779b97f4a7c15ull ^ static_cast<std::uint64_t>(worker_index + 1)));
+  std::chrono::microseconds backoff{1};
+  for (;;) {
+    Job job;
+    if (try_pop_job(job, rng.below(fifos_.size()))) {
+      backoff = std::chrono::microseconds{1};
+      if (job.ks->alive.load(std::memory_order_acquire)) {
+        job.ks->operation(*this, job.entries);
+      }
+      jobs_executed_.fetch_add(1);
+      if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(drain_mu_);
+        drain_cv_.notify_all();
+      }
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) return;
+    // Exponential back-off keeps idle workers from spinning on the locks.
+    std::unique_lock lock(wake_mu_);
+    wake_cv_.wait_for(lock, backoff);
+    backoff = std::min(backoff * 2, cfg_.max_backoff);
+  }
+}
+
+void Blackboard::drain() {
+  std::unique_lock lock(drain_mu_);
+  drain_cv_.wait(lock, [&] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void Blackboard::stop() {
+  if (stopping_.exchange(true)) return;
+  wake_cv_.notify_all();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+}
+
+BlackboardStats Blackboard::stats() const {
+  BlackboardStats s;
+  s.entries_pushed = entries_pushed_.load();
+  s.jobs_executed = jobs_executed_.load();
+  s.ks_registered = ks_registered_.load();
+  s.ks_removed = ks_removed_.load();
+  return s;
+}
+
+}  // namespace esp::bb

@@ -1,0 +1,205 @@
+#pragma once
+/// \file blackboard.hpp
+/// \brief The parallel blackboard: a data-centric task engine (paper §II-B,
+/// §III-B, Fig. 13).
+///
+/// Faithful to the paper's definitions:
+///  - a Data Entry is a tuple {Type, Size, Payload} — here a 64-bit type id
+///    plus a ref-counted byte buffer;
+///  - a Knowledge Source is {{Sensitivities}, Operation}: a multiset of
+///    type ids that trigger a function over the collected entries. A KS
+///    may have several sensitivities of the same type, may submit entries,
+///    and may register or remove KSs, including itself (the paper's
+///    simplified opportunistic reasoning);
+///  - the control system only matches sensitivities: a submitted entry is
+///    looked up in the sensitivity hash table, queued on the matching KS,
+///    and when it satisfies the last open sensitivity a Job
+///    {{Data entries}, Operation} is pushed into one of an array of
+///    lock-protected FIFOs chosen at random (contention spreading);
+///  - a pool of workers sweeps the FIFO array from random starting points,
+///    with an exponential back-off that keeps idle threads off the locks;
+///  - data entries are read-mostly and managed by ref-counting: a payload
+///    is writable only while its ref-count is one; buffers are freed
+///    automatically once every processing that references them completes,
+///    which is what lets the blackboard act as the temporary storage that
+///    frees stream buffers without blocking instrumented processes;
+///  - multi-level blackboards use type ids hashed from (level, type name),
+///    so the same KS graph can be instantiated once per application level
+///    (Fig. 5).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <chrono>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace esp::bb {
+
+/// Type identifier of a data entry; stable hash of (level, type name).
+using TypeId = std::uint64_t;
+
+/// Global (level-less) type id.
+inline TypeId type_id(std::string_view type_name) { return fnv1a(type_name); }
+
+/// Multi-level type id: identical KSs and data types can coexist in
+/// multiple blackboard levels (paper: "computed as a hash of both level and
+/// data-type names").
+inline TypeId type_id(std::string_view level, std::string_view type_name) {
+  return hash_combine(fnv1a(level), fnv1a(type_name));
+}
+
+/// The paper's {Type, Size, Payload} tuple. Size lives in the buffer.
+struct DataEntry {
+  TypeId type = 0;
+  BufferRef payload;
+
+  DataEntry() = default;
+  DataEntry(TypeId t, BufferRef p) : type(t), payload(std::move(p)) {}
+
+  /// Build an entry holding a copy of a trivially-copyable value.
+  template <typename T>
+  static DataEntry of(TypeId t, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return DataEntry(t, Buffer::copy_of(&value, sizeof value));
+  }
+
+  std::uint64_t size() const noexcept { return payload ? payload->size() : 0; }
+  template <typename T>
+  const T& as() const {
+    return *reinterpret_cast<const T*>(payload->data());
+  }
+};
+
+class Blackboard;
+
+/// A KS operation: runs on a worker thread with the satisfied entries (in
+/// sensitivity declaration order) and the blackboard for submissions.
+using Operation =
+    std::function<void(Blackboard&, std::span<const DataEntry>)>;
+
+/// Registration handle.
+using KsId = std::uint64_t;
+
+struct KsSpec {
+  std::string name;
+  std::vector<TypeId> sensitivities;  ///< Multiset; duplicates allowed.
+  Operation operation;
+};
+
+struct BlackboardConfig {
+  int workers = 4;
+  int fifo_count = 16;  ///< Width of the job FIFO array.
+  /// Back-off cap for idle workers.
+  std::chrono::microseconds max_backoff{2000};
+};
+
+struct BlackboardStats {
+  std::uint64_t entries_pushed = 0;
+  std::uint64_t jobs_executed = 0;
+  std::uint64_t ks_registered = 0;
+  std::uint64_t ks_removed = 0;
+};
+
+/// The engine. Workers start in the constructor and stop in the destructor
+/// (or via stop()).
+class Blackboard {
+ public:
+  explicit Blackboard(BlackboardConfig cfg = {});
+  ~Blackboard();
+
+  Blackboard(const Blackboard&) = delete;
+  Blackboard& operator=(const Blackboard&) = delete;
+
+  /// Register a knowledge source; thread-safe, callable from operations.
+  KsId register_ks(KsSpec spec);
+  /// Remove a knowledge source; safe from inside its own operation.
+  void remove_ks(KsId id);
+
+  /// Submit a data entry; triggers matching sensitivities.
+  void push(DataEntry entry);
+  void push(TypeId type, BufferRef payload) {
+    push(DataEntry(type, std::move(payload)));
+  }
+
+  /// Block until no jobs are queued or running. Entries held by partially
+  /// satisfied multi-sensitivity KSs are not runnable work and stay queued.
+  void drain();
+
+  /// Stop the worker pool; queued jobs are executed before workers exit.
+  void stop();
+
+  BlackboardStats stats() const;
+  int worker_count() const noexcept { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct KsState {
+    KsId id = 0;
+    std::string name;
+    std::vector<TypeId> sensitivities;
+    Operation operation;
+    std::atomic<bool> alive{true};
+
+    /// Pending entries per type + needed multiplicity per type.
+    std::mutex mu;
+    std::unordered_map<TypeId, std::deque<DataEntry>> pending;
+    std::unordered_map<TypeId, std::size_t> multiplicity;
+  };
+
+  struct Job {
+    std::shared_ptr<KsState> ks;
+    std::vector<DataEntry> entries;
+  };
+
+  struct Fifo {
+    std::mutex mu;
+    std::deque<Job> jobs;
+  };
+
+  void enqueue_job(Job job);
+  bool try_pop_job(Job& out, std::size_t start);
+  void worker_loop(int worker_index);
+
+  BlackboardConfig cfg_;
+
+  // Sensitivity hash table: type id -> interested KSs.
+  mutable std::shared_mutex index_mu_;
+  std::unordered_map<TypeId, std::vector<std::shared_ptr<KsState>>> index_;
+  std::unordered_map<KsId, std::shared_ptr<KsState>> ks_by_id_;
+  std::atomic<KsId> next_ks_id_{1};
+
+  std::vector<std::unique_ptr<Fifo>> fifos_;
+  std::atomic<std::uint64_t> rr_seed_{0x1234};
+
+  // Worker pool + idle back-off.
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopping_{false};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+
+  // Drain accounting: jobs queued or running.
+  std::atomic<std::int64_t> inflight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+
+  // Stats.
+  std::atomic<std::uint64_t> entries_pushed_{0};
+  std::atomic<std::uint64_t> jobs_executed_{0};
+  std::atomic<std::uint64_t> ks_registered_{0};
+  std::atomic<std::uint64_t> ks_removed_{0};
+};
+
+}  // namespace esp::bb

@@ -1,0 +1,72 @@
+#pragma once
+/// \file buffer.hpp
+/// \brief Reference-counted byte buffers.
+///
+/// Data entries on the blackboard and blocks in VMPI streams are opaque
+/// byte payloads. The paper manages blackboard data with a ref-counting
+/// scheme where a payload is writable only while its ref-counter equals
+/// one (Section III-B); Buffer exposes exactly that rule.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace esp {
+
+/// An owning, shareable blob of bytes.
+///
+/// Copying a BufferRef only bumps a reference count; the payload itself is
+/// shared. `writable()` is true only for the unique owner, mirroring the
+/// paper's "writable iff ref-counter == 1" rule.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::size_t size) : bytes_(size) {}
+  explicit Buffer(std::span<const std::byte> data)
+      : bytes_(data.begin(), data.end()) {}
+
+  static std::shared_ptr<Buffer> make(std::size_t size) {
+    return std::make_shared<Buffer>(size);
+  }
+  static std::shared_ptr<Buffer> copy_of(const void* data, std::size_t size) {
+    auto b = std::make_shared<Buffer>(size);
+    if (size != 0) std::memcpy(b->data(), data, size);
+    return b;
+  }
+
+  std::byte* data() noexcept { return bytes_.data(); }
+  const std::byte* data() const noexcept { return bytes_.data(); }
+  std::size_t size() const noexcept { return bytes_.size(); }
+  bool empty() const noexcept { return bytes_.empty(); }
+  void resize(std::size_t n) { bytes_.resize(n); }
+
+  std::span<std::byte> span() noexcept { return {bytes_.data(), bytes_.size()}; }
+  std::span<const std::byte> span() const noexcept {
+    return {bytes_.data(), bytes_.size()};
+  }
+
+  /// Reinterpret the payload as an array of trivially-copyable T.
+  template <typename T>
+  std::span<const T> as() const noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return {reinterpret_cast<const T*>(bytes_.data()), bytes_.size() / sizeof(T)};
+  }
+  template <typename T>
+  std::span<T> as_mutable() noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return {reinterpret_cast<T*>(bytes_.data()), bytes_.size() / sizeof(T)};
+  }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+using BufferRef = std::shared_ptr<Buffer>;
+
+/// Paper rule: a shared payload is writable only by its unique owner.
+inline bool writable(const BufferRef& b) noexcept { return b && b.use_count() == 1; }
+
+}  // namespace esp

@@ -1,0 +1,34 @@
+#include "common/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace esp {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  std::string s(v);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+bool full_scale() { return env_flag("ESP_FULL_SCALE"); }
+
+}  // namespace esp

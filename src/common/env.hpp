@@ -1,0 +1,22 @@
+#pragma once
+/// \file env.hpp
+/// \brief Environment-variable helpers for benchmark scale knobs.
+
+#include <cstdint>
+#include <string>
+
+namespace esp {
+
+/// Read an integer env var, returning `fallback` when unset/invalid.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Read a boolean env var ("1", "true", "yes", "on" case-insensitive).
+bool env_flag(const char* name, bool fallback = false);
+
+/// Read a string env var.
+std::string env_str(const char* name, const std::string& fallback);
+
+/// True when ESP_FULL_SCALE=1: benches run paper-scale configurations.
+bool full_scale();
+
+}  // namespace esp

@@ -1,0 +1,37 @@
+#pragma once
+/// \file hash.hpp
+/// \brief Small, dependency-free hashing utilities used across esperf.
+///
+/// The blackboard identifies data-entry types by a 64-bit hash of
+/// "<level>:<type-name>" (see the multi-level blackboard in the paper,
+/// Section III-B), so the hash must be stable across runs and platforms.
+
+#include <cstdint>
+#include <string_view>
+
+namespace esp {
+
+/// FNV-1a 64-bit hash; stable, endian-independent for byte input.
+constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Combine two hashes (boost::hash_combine-style, 64-bit constants).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 12) + (a >> 4));
+}
+
+/// Mix a 64-bit integer (splitmix64 finalizer).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace esp

@@ -1,0 +1,134 @@
+#include "common/io_writers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace esp {
+
+double Matrix::sum() const {
+  double s = 0;
+  for (double v : cells_) s += v;
+  return s;
+}
+
+double Matrix::max() const {
+  double s = 0;
+  for (double v : cells_) s = std::max(s, v);
+  return s;
+}
+
+bool write_csv(const std::string& path, const Matrix& m) {
+  std::ofstream os(path);
+  if (!os) return false;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << m.at(r, c);
+      if (c + 1 < m.cols()) os << ',';
+    }
+    os << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+bool write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream os(path);
+  if (!os) return false;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(header);
+  for (const auto& r : rows) emit(r);
+  return static_cast<bool>(os);
+}
+
+namespace {
+
+/// Map t in [0,1] to a blue->cyan->green->yellow->red ramp, the classic
+/// "jet-like" ramp used by the paper's density maps.
+void heat_color(double t, std::uint8_t rgb[3]) {
+  t = std::clamp(t, 0.0, 1.0);
+  const double r = std::clamp(1.5 - std::fabs(4.0 * t - 3.0), 0.0, 1.0);
+  const double g = std::clamp(1.5 - std::fabs(4.0 * t - 2.0), 0.0, 1.0);
+  const double b = std::clamp(1.5 - std::fabs(4.0 * t - 1.0), 0.0, 1.0);
+  rgb[0] = static_cast<std::uint8_t>(r * 255.0);
+  rgb[1] = static_cast<std::uint8_t>(g * 255.0);
+  rgb[2] = static_cast<std::uint8_t>(b * 255.0);
+}
+
+}  // namespace
+
+bool write_ppm_heatmap(const std::string& path, const Matrix& m,
+                       bool log_scale, int scale) {
+  if (m.rows() == 0 || m.cols() == 0 || scale < 1) return false;
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  const double vmax = m.max();
+  const std::size_t w = m.cols() * static_cast<std::size_t>(scale);
+  const std::size_t h = m.rows() * static_cast<std::size_t>(scale);
+  os << "P6\n" << w << ' ' << h << "\n255\n";
+  std::vector<std::uint8_t> row(w * 3);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      double v = m.at(r, c);
+      double t;
+      if (vmax <= 0.0) {
+        t = 0.0;
+      } else if (log_scale) {
+        t = std::log1p(v) / std::log1p(vmax);
+      } else {
+        t = v / vmax;
+      }
+      std::uint8_t rgb[3];
+      heat_color(t, rgb);
+      for (int s = 0; s < scale; ++s) {
+        const std::size_t px = c * static_cast<std::size_t>(scale) + s;
+        row[px * 3 + 0] = rgb[0];
+        row[px * 3 + 1] = rgb[1];
+        row[px * 3 + 2] = rgb[2];
+      }
+    }
+    for (int s = 0; s < scale; ++s)
+      os.write(reinterpret_cast<const char*>(row.data()),
+               static_cast<std::streamsize>(row.size()));
+  }
+  return static_cast<bool>(os);
+}
+
+bool write_dot_graph(const std::string& path, const Matrix& adjacency,
+                     const std::string& graph_name, double min_weight) {
+  std::ofstream os(path);
+  if (!os) return false;
+  const double vmax = adjacency.max();
+  os << "digraph \"" << graph_name << "\" {\n"
+     << "  node [shape=circle, fontsize=8];\n"
+     << "  overlap=false;\n";
+  for (std::size_t r = 0; r < adjacency.rows(); ++r) {
+    for (std::size_t c = 0; c < adjacency.cols(); ++c) {
+      const double v = adjacency.at(r, c);
+      if (v <= min_weight) continue;
+      const double t = vmax > 0 ? v / vmax : 0.0;
+      char attr[96];
+      std::snprintf(attr, sizeof attr, " [penwidth=%.2f, weight=%.0f]",
+                    0.5 + 3.5 * t, 1.0 + 9.0 * t);
+      os << "  " << r << " -> " << c << attr << ";\n";
+    }
+  }
+  os << "}\n";
+  return static_cast<bool>(os);
+}
+
+bool ensure_directory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  return !ec || std::filesystem::is_directory(path, ec);
+}
+
+}  // namespace esp

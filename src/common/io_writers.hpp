@@ -1,0 +1,56 @@
+#pragma once
+/// \file io_writers.hpp
+/// \brief Report artifact writers: CSV, PPM heat maps, Graphviz DOT.
+///
+/// The paper's analyzer emits LaTeX reports containing communication
+/// matrices, topology graphs (rendered with Graphviz) and density maps.
+/// We emit the same artifacts in open formats: CSV for matrices, PPM for
+/// heat maps, DOT for graphs (valid Graphviz input).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esp {
+
+/// Dense row-major matrix of doubles with labelled axes; the unit of the
+/// topological module's outputs (hits / total size / total time).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), cells_(rows * cols, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return cells_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return cells_[r * cols_ + c]; }
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  double sum() const;
+  double max() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> cells_;
+};
+
+/// Write a matrix as CSV (no header, one row per line).
+bool write_csv(const std::string& path, const Matrix& m);
+
+/// Write labelled CSV: header row + first column labels.
+bool write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<std::string>>& rows);
+
+/// Write a matrix as a PPM heat map (blue = low, red = high), log or linear
+/// scale. Cell (0,0) is the top-left pixel; `scale` up-samples pixels.
+bool write_ppm_heatmap(const std::string& path, const Matrix& m,
+                       bool log_scale = true, int scale = 1);
+
+/// A weighted directed graph emitted as Graphviz DOT (one edge per non-zero
+/// matrix cell), matching the topology figures of the paper.
+bool write_dot_graph(const std::string& path, const Matrix& adjacency,
+                     const std::string& graph_name, double min_weight = 0.0);
+
+/// Create directory `path` (and parents). Returns false on failure.
+bool ensure_directory(const std::string& path);
+
+}  // namespace esp

@@ -1,0 +1,51 @@
+#pragma once
+/// \file table.hpp
+/// \brief Aligned console table printer used by the benchmark harnesses to
+/// print paper-style result rows.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace esp {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+  /// Convenience: formats arithmetic cells with operator<<.
+  template <typename... Ts>
+  Table& row(const Ts&... cells) {
+    return add_row({to_cell(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return to_cell_impl(v);
+    }
+  }
+  static std::string to_cell_impl(double v);
+  static std::string to_cell_impl(long long v);
+  template <typename T>
+  static std::string to_cell_impl(const T& v) {
+    if constexpr (std::is_integral_v<T>) {
+      return to_cell_impl(static_cast<long long>(v));
+    } else {
+      return to_cell_impl(static_cast<double>(v));
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace esp

@@ -1,0 +1,49 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace esp {
+namespace {
+
+std::string scaled(double value, const char* const* suffixes, int count,
+                   double base) {
+  int i = 0;
+  double v = value;
+  while (std::fabs(v) >= base && i + 1 < count) {
+    v /= base;
+    ++i;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f %s", v, suffixes[i]);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  static const char* kSuffix[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  return scaled(bytes, kSuffix, 6, 1e3);
+}
+
+std::string format_bandwidth(double bytes_per_sec) {
+  static const char* kSuffix[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+  return scaled(bytes_per_sec, kSuffix, 5, 1e3);
+}
+
+std::string format_time(double seconds) {
+  char buf[64];
+  if (seconds < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.1f ns", seconds * 1e9);
+  } else if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace esp

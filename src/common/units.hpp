@@ -1,0 +1,23 @@
+#pragma once
+/// \file units.hpp
+/// \brief Byte/bandwidth/time formatting helpers shared by benches and reports.
+
+#include <cstdint>
+#include <string>
+
+namespace esp {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+
+/// Decimal units, used for bandwidths quoted in the paper (GB/s == 1e9 B/s).
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+std::string format_bytes(double bytes);
+std::string format_bandwidth(double bytes_per_sec);
+std::string format_time(double seconds);
+
+}  // namespace esp

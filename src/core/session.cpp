@@ -1,0 +1,56 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esp {
+
+Session::Session(SessionConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.analyzer_ratio < 1) cfg_.analyzer_ratio = 1;
+}
+
+int Session::add_application(std::string name, int nprocs,
+                             mpi::ProgramMain main) {
+  if (ran_) throw std::logic_error("session already ran");
+  if (name == cfg_.instrument.analyzer_partition)
+    throw std::invalid_argument("application name collides with analyzer");
+  apps_.push_back({std::move(name), nprocs, std::move(main)});
+  return static_cast<int>(apps_.size()) - 1;
+}
+
+std::shared_ptr<an::AnalysisResults> Session::run() {
+  if (ran_) throw std::logic_error("session already ran");
+  if (apps_.empty()) throw std::logic_error("no applications added");
+  ran_ = true;
+
+  int total_app_procs = 0;
+  for (const auto& a : apps_) total_app_procs += a.nprocs;
+  const int n_analyzer =
+      std::max(1, total_app_procs / cfg_.analyzer_ratio);
+
+  auto results = std::make_shared<an::AnalysisResults>();
+  an::AnalyzerConfig acfg = cfg_.analyzer;
+  acfg.results = results;
+  acfg.output_dir = cfg_.output_dir;
+
+  std::vector<mpi::ProgramSpec> progs = std::move(apps_);
+  progs.push_back({cfg_.instrument.analyzer_partition, n_analyzer,
+                   [acfg](mpi::ProcEnv& env) { an::run_analyzer(env, acfg); }});
+
+  mpi::RuntimeConfig rcfg = cfg_.runtime;
+  rcfg.machine = cfg_.machine;
+  runtime_ = std::make_unique<mpi::Runtime>(rcfg, std::move(progs));
+  tool_ = inst::attach_online_instrumentation(*runtime_, cfg_.instrument);
+  runtime_->run();
+  return results;
+}
+
+double Session::application_walltime(int app_id) const {
+  return runtime_->partition_walltime(app_id);
+}
+
+inst::InstrumentTotals Session::instrument_totals() const {
+  return tool_ ? tool_->totals() : inst::InstrumentTotals{};
+}
+
+}  // namespace esp

@@ -1,0 +1,65 @@
+#pragma once
+/// \file session.hpp
+/// \brief The esperf public façade: profile one or more applications with
+/// online coupling in a single call.
+///
+/// A Session assembles the full MPMD job of Fig. 10: every added
+/// application becomes a partition, a dimensioned analyzer partition is
+/// appended, online instrumentation is attached to all application
+/// partitions, and run() executes everything and returns the per-
+/// application analysis results (the content of the paper's profiling
+/// report, one chapter per application).
+///
+///   esp::Session session;
+///   session.add_application("solver", 16, my_main);
+///   auto results = session.run();
+///   results->find(0)->per_kind[...];
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "instrument/online_instrument.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace esp {
+
+struct SessionConfig {
+  net::MachineConfig machine = net::MachineConfig::tera100();
+  /// Instrumented processes per analyzer process (paper: ratios between
+  /// 1 and 32 are practical; 10 is a good bandwidth-resource trade-off).
+  int analyzer_ratio = 8;
+  /// Report directory; empty keeps results in memory only.
+  std::string output_dir;
+  inst::InstrumentConfig instrument;
+  an::AnalyzerConfig analyzer;
+  mpi::RuntimeConfig runtime;
+};
+
+/// One-stop profiling session. Not reusable: build, add, run once.
+class Session {
+ public:
+  explicit Session(SessionConfig cfg = {});
+
+  /// Register an application partition; returns its application id.
+  int add_application(std::string name, int nprocs, mpi::ProgramMain main);
+
+  /// Launch applications + analyzer; blocks until every partition
+  /// finished; returns the merged analysis results.
+  std::shared_ptr<an::AnalysisResults> run();
+
+  // Post-run queries.
+  double application_walltime(int app_id) const;
+  inst::InstrumentTotals instrument_totals() const;
+  const mpi::Runtime& runtime() const { return *runtime_; }
+
+ private:
+  SessionConfig cfg_;
+  std::vector<mpi::ProgramSpec> apps_;
+  std::unique_ptr<mpi::Runtime> runtime_;
+  std::shared_ptr<inst::OnlineInstrument> tool_;
+  bool ran_ = false;
+};
+
+}  // namespace esp

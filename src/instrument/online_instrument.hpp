@@ -1,0 +1,84 @@
+#pragma once
+/// \file online_instrument.hpp
+/// \brief The online-coupling instrumentation tool (the paper's core
+/// contribution): intercepts every MPI call via the tool chain, records a
+/// fixed-size event, and streams 1 MB event packs to the analyzer
+/// partition through VMPI streams — no trace file is ever written.
+///
+/// Perturbation model charged on the instrumented rank's virtual clock:
+///  - `per_event_cost` CPU seconds per recorded event (timestamping and
+///    the append into the staging pack);
+///  - the stream write itself: block staging copy plus, when all N_A
+///    asynchronous buffers are in flight, the wait for the analyzer to
+///    catch up (backpressure) — this is where the Bi-vs-bandwidth
+///    correlation of the paper's Fig. 15 comes from.
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "instrument/event.hpp"
+#include "simmpi/runtime.hpp"
+#include "vmpi/stream.hpp"
+
+namespace esp::inst {
+
+struct InstrumentConfig {
+  std::string analyzer_partition = "analyzer";
+  std::uint64_t block_size = 1u << 20;  ///< Event-pack/stream block size.
+  int n_async = 3;
+  vmpi::BalancePolicy policy = vmpi::BalancePolicy::RoundRobin;
+  double per_event_cost = 1.0e-6;
+  /// Mapping policy from instrumented partition to the analyzer.
+  vmpi::MapPolicy map_policy = vmpi::MapPolicy::RoundRobin;
+};
+
+/// Aggregate counters across all instrumented ranks (read after run()).
+struct InstrumentTotals {
+  std::uint64_t events = 0;
+  std::uint64_t packs = 0;
+  std::uint64_t streamed_bytes = 0;
+};
+
+class OnlineInstrument : public mpi::Tool {
+ public:
+  OnlineInstrument(mpi::Runtime& rt, InstrumentConfig cfg);
+  ~OnlineInstrument() override;
+
+  void on_init(mpi::RankContext& rc) override;
+  void on_call(mpi::RankContext& rc, const mpi::CallInfo& ci) override;
+  void on_finalize(mpi::RankContext& rc) override;
+
+  /// Record a POSIX-IO event for the calling rank (used by workloads that
+  /// model checkpointing; reachable because instrumentation is active).
+  static void record_posix(EventKind kind, std::uint64_t bytes,
+                           double duration);
+
+  InstrumentTotals totals() const;
+  const InstrumentConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct RankState;
+  RankState& state(mpi::RankContext& rc);
+  void append(mpi::RankContext& rc, RankState& st, const Event& ev);
+  void flush(mpi::RankContext& rc, RankState& st);
+
+  mpi::Runtime& rt_;
+  InstrumentConfig cfg_;
+  std::vector<std::unique_ptr<RankState>> states_;  ///< Indexed by world rank.
+  std::atomic<std::uint64_t> total_events_{0};
+  std::atomic<std::uint64_t> total_packs_{0};
+  std::atomic<std::uint64_t> total_bytes_{0};
+};
+
+/// Attach online instrumentation to every partition except the analyzer.
+/// Returns the tool for post-run inspection.
+std::shared_ptr<OnlineInstrument> attach_online_instrumentation(
+    mpi::Runtime& rt, InstrumentConfig cfg = {});
+
+/// Perform a modelled POSIX IO of `duration` virtual seconds on the
+/// calling rank. The time is always charged; an event is recorded only
+/// when the rank is instrumented (mirroring an intercepted libc call).
+void posix_io(EventKind kind, std::uint64_t bytes, double duration);
+
+}  // namespace esp::inst

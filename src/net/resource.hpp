@@ -1,0 +1,145 @@
+#pragma once
+/// \file resource.hpp
+/// \brief Virtual-time contended resources.
+///
+/// The simulator charges communication and IO costs in *virtual time*.
+/// A SerialResource is a FIFO server: a request arriving at virtual time
+/// `start` with service duration `d` begins at max(start, availability)
+/// and completes `d` later. Sharing one SerialResource among many flows
+/// caps their aggregate rate at the resource capacity — the behaviour that
+/// drives every contention effect reproduced from the paper (NIC
+/// serialization, bisection saturation, metadata-server contention).
+///
+/// Approximation (documented in DESIGN.md): requests are queued in the
+/// order they arrive in *real* time; when ranks' virtual clocks drift this
+/// can reorder grants, which perturbs per-flow ordering but not aggregate
+/// statistics.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace esp::net {
+
+/// FIFO server in virtual time; thread-safe.
+class SerialResource {
+ public:
+  SerialResource() = default;
+
+  /// Reserve the resource for `duration` seconds starting no earlier than
+  /// `start`. Returns the completion time.
+  double acquire(double start, double duration) {
+    std::lock_guard lock(mu_);
+    const double begin = start > available_ ? start : available_;
+    available_ = begin + duration;
+    ++requests_;
+    busy_ += duration;
+    return available_;
+  }
+
+  /// Time at which the resource next becomes free (diagnostic).
+  double available() const {
+    std::lock_guard lock(mu_);
+    return available_;
+  }
+
+  std::uint64_t requests() const {
+    std::lock_guard lock(mu_);
+    return requests_;
+  }
+
+  /// Total busy (service) time accumulated.
+  double busy_time() const {
+    std::lock_guard lock(mu_);
+    return busy_;
+  }
+
+  void reset() {
+    std::lock_guard lock(mu_);
+    available_ = 0.0;
+    busy_ = 0.0;
+    requests_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double available_ = 0.0;
+  double busy_ = 0.0;
+  std::uint64_t requests_ = 0;
+};
+
+/// A bandwidth-capacity resource: service time = bytes / per-lane rate.
+///
+/// `lanes` splits the capacity into parallel FIFO channels (a fat tree's
+/// bisection is many physical uplinks, not one serial pipe). A transfer
+/// takes the lane whose frontier is earliest.
+///
+/// Causality tolerance: requests arrive in *real-time* order, which can
+/// differ from virtual-time order when rank clocks drift. A request whose
+/// virtual start lies before a lane's frontier may be served "in the
+/// past" — but only against that lane's recorded *idle credit* (gaps when
+/// the lane was genuinely unreserved). Total reserved service time never
+/// exceeds elapsed virtual time per lane, so capacity conservation is
+/// exact while spurious cross-flow serialization disappears.
+class BandwidthResource {
+ public:
+  explicit BandwidthResource(double bytes_per_sec = 1.0, int lanes = 1)
+      : lanes_(static_cast<std::size_t>(lanes < 1 ? 1 : lanes)),
+        bytes_per_sec_(bytes_per_sec) {}
+
+  /// Reserve a transfer of `bytes` starting no earlier than `start`;
+  /// returns completion time.
+  double acquire(double start, std::uint64_t bytes) {
+    const double duration =
+        static_cast<double>(bytes) /
+        (bytes_per_sec_ / static_cast<double>(lanes_.size()));
+    std::lock_guard lock(mu_);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < lanes_.size(); ++i)
+      if (lanes_[i].frontier < lanes_[best].frontier) best = i;
+    auto& lane = lanes_[best];
+    ++requests_;
+    busy_ += duration;
+    if (start + duration <= lane.frontier && lane.idle_credit >= duration) {
+      // Fits wholly inside recorded past idle time: serve it there
+      // without moving the frontier.
+      lane.idle_credit -= duration;
+      return start + duration;
+    }
+    const double begin = start > lane.frontier ? start : lane.frontier;
+    lane.idle_credit += begin - lane.frontier;  // a real idle gap opened
+    lane.frontier = begin + duration;
+    return lane.frontier;
+  }
+
+  double rate() const noexcept { return bytes_per_sec_; }
+  void set_rate(double bytes_per_sec) noexcept { bytes_per_sec_ = bytes_per_sec; }
+  int lane_count() const noexcept { return static_cast<int>(lanes_.size()); }
+  std::uint64_t requests() const {
+    std::lock_guard lock(mu_);
+    return requests_;
+  }
+  double busy_time() const {
+    std::lock_guard lock(mu_);
+    return busy_;
+  }
+  void reset() {
+    std::lock_guard lock(mu_);
+    for (auto& l : lanes_) l = Lane{};
+    requests_ = 0;
+    busy_ = 0.0;
+  }
+
+ private:
+  struct Lane {
+    double frontier = 0.0;
+    double idle_credit = 0.0;
+  };
+  mutable std::mutex mu_;
+  std::vector<Lane> lanes_;
+  double bytes_per_sec_;
+  std::uint64_t requests_ = 0;
+  double busy_ = 0.0;
+};
+
+}  // namespace esp::net

@@ -1,0 +1,54 @@
+#include "net/simfs.hpp"
+
+#include <algorithm>
+
+namespace esp::net {
+
+SimFs::SimFs(Machine& machine, int job_cores, SimFsConfig cfg)
+    : machine_(machine), cfg_(cfg), ost_(1.0) {
+  const auto& mc = machine.config();
+  double share = cfg_.share_fraction;
+  if (share < 0.0) {
+    share = static_cast<double>(std::max(job_cores, 1)) /
+            static_cast<double>(std::max(mc.total_cores, 1));
+  }
+  share = std::clamp(share, 1e-6, 1.0);
+  ost_.set_rate(mc.fs_total_bandwidth * share);
+}
+
+double SimFs::metadata_op(double start) {
+  return mds_.acquire(start, machine_.config().fs_metadata_op_cost);
+}
+
+double SimFs::write(int core, std::uint64_t bytes, double start) {
+  start += cfg_.write_call_overhead;
+  // The write streams through the node NIC and the OST array concurrently;
+  // completion is the slower of the two serialized queues.
+  const double t_ost = ost_.acquire(start, bytes);
+  const double t_nic = machine_.nic_send(core, bytes, start);
+  {
+    std::lock_guard lock(stat_mu_);
+    bytes_written_ += bytes;
+  }
+  return std::max(t_ost, t_nic);
+}
+
+double SimFs::read(int core, std::uint64_t bytes, double start) {
+  const double t_ost = ost_.acquire(start + cfg_.write_call_overhead, bytes);
+  const double t_nic = machine_.nic_send(core, bytes, start);
+  return std::max(t_ost, t_nic);
+}
+
+std::uint64_t SimFs::bytes_written() const {
+  std::lock_guard lock(stat_mu_);
+  return bytes_written_;
+}
+
+void SimFs::reset() {
+  mds_.reset();
+  ost_.reset();
+  std::lock_guard lock(stat_mu_);
+  bytes_written_ = 0;
+}
+
+}  // namespace esp::net

@@ -1,0 +1,121 @@
+#pragma once
+/// \file mailbox.hpp
+/// \brief Receiver-side message matching (internal).
+///
+/// One Mailbox per world rank. Senders post SendItems into the destination
+/// mailbox; receivers post RecvItems into their own. Whichever side closes
+/// a match removes both items under the lock and completes the pair outside
+/// it (payload copy + virtual-time transfer computation).
+/// Matching preserves MPI ordering: queues are scanned front-to-back, and
+/// items from one sender arrive in program order.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "common/buffer.hpp"
+#include "simmpi/request.hpp"
+
+namespace esp::mpi::detail {
+
+struct SendItem {
+  int src_world = -1;
+  int dst_world = -1;
+  std::uint64_t ctx = 0;
+  int tag = 0;
+  std::uint64_t bytes = 0;
+  /// Rendezvous: pointer into the (pinned) sender buffer; null for eager.
+  const std::byte* src_buf = nullptr;
+  /// Eager: staged copy owned by the item.
+  BufferRef eager;
+  bool eager_mode = false;
+  double t_ready = 0.0;   ///< Virtual time the message leaves the sender.
+  std::uint64_t seq = 0;  ///< Sender-side sequence, diagnostic.
+  /// Sender completion (rendezvous isend/send); null when eager-complete.
+  Request req;
+};
+
+struct RecvItem {
+  std::byte* dst_buf = nullptr;
+  std::uint64_t max_bytes = 0;
+  std::uint64_t ctx = 0;
+  int src_world = kAnySource;  ///< Matching world rank, or kAnySource.
+  int tag = kAnyTag;
+  double t_ready = 0.0;
+  Request req;  ///< Always non-null; receiver blocks/waits on it.
+};
+
+/// Matching predicate.
+inline bool matches(const SendItem& s, const RecvItem& r) noexcept {
+  if (s.ctx != r.ctx) return false;
+  if (r.src_world != kAnySource && r.src_world != s.src_world) return false;
+  if (r.tag != kAnyTag && r.tag != s.tag) return false;
+  return true;
+}
+
+class Mailbox {
+ public:
+  /// Post a send; if a posted receive matches, returns it (removed).
+  std::shared_ptr<RecvItem> post_send(std::shared_ptr<SendItem> s) {
+    std::lock_guard lock(mu_);
+    for (auto it = recvs_.begin(); it != recvs_.end(); ++it) {
+      if (matches(*s, **it)) {
+        auto r = *it;
+        recvs_.erase(it);
+        return r;
+      }
+    }
+    sends_.push_back(std::move(s));
+    return nullptr;
+  }
+
+  /// Post a receive; if a queued send matches, returns it (removed).
+  std::shared_ptr<SendItem> post_recv(std::shared_ptr<RecvItem> r) {
+    std::lock_guard lock(mu_);
+    for (auto it = sends_.begin(); it != sends_.end(); ++it) {
+      if (matches(**it, *r)) {
+        auto s = *it;
+        sends_.erase(it);
+        return s;
+      }
+    }
+    recvs_.push_back(std::move(r));
+    return nullptr;
+  }
+
+  /// Non-destructive probe for a matching queued send.
+  bool probe(std::uint64_t ctx, int src_world, int tag, std::uint64_t* bytes,
+             int* src_out, int* tag_out) {
+    std::lock_guard lock(mu_);
+    RecvItem pattern;
+    pattern.ctx = ctx;
+    pattern.src_world = src_world;
+    pattern.tag = tag;
+    for (const auto& s : sends_) {
+      if (matches(*s, pattern)) {
+        if (bytes != nullptr) *bytes = s->bytes;
+        if (src_out != nullptr) *src_out = s->src_world;
+        if (tag_out != nullptr) *tag_out = s->tag;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t pending_sends() {
+    std::lock_guard lock(mu_);
+    return sends_.size();
+  }
+  std::size_t pending_recvs() {
+    std::lock_guard lock(mu_);
+    return recvs_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<std::shared_ptr<SendItem>> sends_;
+  std::deque<std::shared_ptr<RecvItem>> recvs_;
+};
+
+}  // namespace esp::mpi::detail

@@ -1,0 +1,112 @@
+#pragma once
+/// \file request.hpp
+/// \brief Nonblocking-operation handles.
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "simmpi/types.hpp"
+
+namespace esp::mpi {
+
+struct CommData;
+
+/// A multiplexed completion target: several requests can be armed to
+/// notify one WaitSet, giving wait-any semantics without a global
+/// broadcast (a global completion channel serializes the whole runtime
+/// into a futex storm at scale).
+struct WaitSet {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t ticket = 0;
+
+  void notify() {
+    {
+      std::lock_guard lock(mu);
+      ++ticket;
+    }
+    cv.notify_all();
+  }
+  std::uint64_t snapshot() {
+    std::lock_guard lock(mu);
+    return ticket;
+  }
+  /// Block until notify() has been called after `seen` was snapshotted.
+  void wait_change(std::uint64_t seen) {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return ticket != seen; });
+  }
+};
+
+/// Shared completion state of a nonblocking operation. Matching happens on
+/// whichever thread closes the (send, recv) pair; the initiating rank
+/// observes completion through wait()/test().
+struct RequestState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+
+  /// Virtual time at which the *owning* rank may consider the operation
+  /// complete (transfer finish for receives and rendezvous sends; local
+  /// staging finish for eager sends).
+  double finish = 0.0;
+  Status status;  ///< status.source holds the sender's *world* rank until
+                  ///< the owning Comm translates it.
+
+  // Bookkeeping for tool-chain reporting and source translation at wait
+  // time.
+  CallKind kind = CallKind::Isend;
+  std::uint64_t ctx = 0;
+  int peer_world = -1;
+  std::uint64_t bytes = 0;
+  std::shared_ptr<const CommData> comm;
+
+  /// Armed wait-any target; see arm_waitset()/disarm_waitset().
+  WaitSet* waitset = nullptr;
+
+  void complete(double t, Status st) {
+    WaitSet* ws = nullptr;
+    {
+      std::lock_guard lock(mu);
+      done = true;
+      finish = t;
+      status = st;
+      ws = waitset;
+    }
+    cv.notify_all();
+    if (ws != nullptr) ws->notify();
+  }
+
+  /// Register `ws` for completion notification. Returns true when the
+  /// request is already done (no arming happened).
+  bool arm_waitset(WaitSet* ws) {
+    std::lock_guard lock(mu);
+    if (done) return true;
+    waitset = ws;
+    return false;
+  }
+  /// Remove an armed wait-set (required before a stack-owned WaitSet goes
+  /// out of scope while the request may still complete).
+  void disarm_waitset(WaitSet* ws) {
+    std::lock_guard lock(mu);
+    if (waitset == ws) waitset = nullptr;
+  }
+
+  bool is_done() {
+    std::lock_guard lock(mu);
+    return done;
+  }
+
+  /// Block (in real time) until done; returns the virtual finish time.
+  double block() {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return done; });
+    return finish;
+  }
+};
+
+/// A request handle; copyable, null-testable.
+using Request = std::shared_ptr<RequestState>;
+
+}  // namespace esp::mpi

@@ -1,0 +1,179 @@
+#include "simmpi/runtime.hpp"
+
+#include <pthread.h>
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace esp::mpi {
+
+namespace {
+thread_local RankContext* g_self = nullptr;
+
+/// Fixed context ids for runtime-created communicators.
+constexpr std::uint64_t kUniverseCtx = 1;
+constexpr std::uint64_t kPartitionCtxBase = 1000;
+}  // namespace
+
+RankContext& Runtime::self() {
+  assert(g_self != nullptr && "not on a rank thread");
+  return *g_self;
+}
+
+bool Runtime::on_rank_thread() noexcept { return g_self != nullptr; }
+
+Runtime::Runtime(RuntimeConfig cfg, std::vector<ProgramSpec> programs)
+    : cfg_(cfg),
+      programs_(std::move(programs)),
+      machine_(cfg.machine, [&] {
+        int total = 0;
+        for (const auto& p : programs_) total += p.nprocs;
+        return total;
+      }()) {
+  if (programs_.empty()) throw std::invalid_argument("no programs");
+  int next = 0;
+  partitions_.reserve(programs_.size());
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    const auto& p = programs_[i];
+    if (p.nprocs <= 0) throw std::invalid_argument("nprocs must be positive");
+    PartitionDesc d;
+    d.id = static_cast<int>(i);
+    d.name = p.name;
+    d.size = p.nprocs;
+    d.first_world_rank = next;
+    next += p.nprocs;
+    partitions_.push_back(std::move(d));
+  }
+  world_size_ = next;
+
+  mailboxes_.reserve(static_cast<std::size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r)
+    mailboxes_.push_back(std::make_unique<detail::Mailbox>());
+  final_clock_.assign(static_cast<std::size_t>(world_size_), 0.0);
+
+  std::vector<int> all(static_cast<std::size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r) all[static_cast<std::size_t>(r)] = r;
+  universe_data_ = CommData::make(this, kUniverseCtx, all);
+
+  partition_data_.reserve(partitions_.size());
+  for (const auto& d : partitions_) {
+    std::vector<int> ranks(static_cast<std::size_t>(d.size));
+    for (int r = 0; r < d.size; ++r)
+      ranks[static_cast<std::size_t>(r)] = d.first_world_rank + r;
+    partition_data_.push_back(CommData::make(
+        this, kPartitionCtxBase + static_cast<std::uint64_t>(d.id),
+        std::move(ranks)));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+const PartitionDesc* Runtime::partition_by_name(std::string_view name) const {
+  for (const auto& d : partitions_)
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+const PartitionDesc& Runtime::partition_of_world(int world_rank) const {
+  for (const auto& d : partitions_)
+    if (d.contains_world(world_rank)) return d;
+  throw std::out_of_range("world rank outside any partition");
+}
+
+double Runtime::partition_walltime(int partition_id) const {
+  const auto& d = partitions_[static_cast<std::size_t>(partition_id)];
+  double w = 0.0;
+  for (int r = d.first_world_rank; r < d.first_world_rank + d.size; ++r)
+    w = std::max(w, final_clock_[static_cast<std::size_t>(r)]);
+  return w;
+}
+
+double Runtime::max_walltime() const {
+  double w = 0.0;
+  for (double c : final_clock_) w = std::max(w, c);
+  return w;
+}
+
+void Runtime::dispatch_tools(RankContext& rc, const CallInfo& ci) {
+  if (tools_.empty()) return;
+  tools_.for_partition(rc.partition_id,
+                       [&](Tool& t) { t.on_call(rc, ci); });
+}
+
+namespace {
+struct LaunchArg {
+  Runtime* rt;
+  int world_rank;
+  void (Runtime::*entry)(int);
+};
+}  // namespace
+
+void* Runtime::rank_thread_entry(void* arg) {
+  auto* la = static_cast<LaunchArg*>(arg);
+  (la->rt->*(la->entry))(la->world_rank);
+  return nullptr;
+}
+
+void Runtime::rank_main(int world_rank) {
+  const PartitionDesc& part = partition_of_world(world_rank);
+
+  RankContext rc;
+  rc.rt = this;
+  rc.world_rank = world_rank;
+  rc.partition_id = part.id;
+  rc.partition_rank = world_rank - part.first_world_rank;
+  rc.rng.reseed(hash_combine(cfg_.seed, mix64(static_cast<std::uint64_t>(
+                                 world_rank + 1))));
+  g_self = &rc;
+
+  ProcEnv env;
+  env.universe = universe();
+  env.world = partition_comm(part.id);
+  env.partition = &part;
+  env.runtime = this;
+  env.universe_rank = world_rank;
+  env.world_rank = rc.partition_rank;
+
+  try {
+    tools_.for_partition(part.id, [&](Tool& t) { t.on_init(rc); });
+    programs_[static_cast<std::size_t>(part.id)].main(env);
+    tools_.for_partition(part.id, [&](Tool& t) { t.on_finalize(rc); });
+  } catch (...) {
+    std::lock_guard lock(error_mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+
+  final_clock_[static_cast<std::size_t>(world_rank)] = rc.clock;
+  g_self = nullptr;
+}
+
+void Runtime::run() {
+  if (ran_) throw std::logic_error("Runtime::run() may only be called once");
+  ran_ = true;
+
+  pthread_attr_t attr;
+  pthread_attr_init(&attr);
+  pthread_attr_setstacksize(&attr, cfg_.stack_bytes);
+
+  std::vector<pthread_t> threads(static_cast<std::size_t>(world_size_));
+  std::vector<LaunchArg> args(static_cast<std::size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r) {
+    args[static_cast<std::size_t>(r)] = {this, r, &Runtime::rank_main};
+    const int rc = pthread_create(&threads[static_cast<std::size_t>(r)], &attr,
+                                  &Runtime::rank_thread_entry,
+                                  &args[static_cast<std::size_t>(r)]);
+    if (rc != 0) {
+      pthread_attr_destroy(&attr);
+      throw std::runtime_error("pthread_create failed for rank " +
+                               std::to_string(r));
+    }
+  }
+  pthread_attr_destroy(&attr);
+  for (auto& t : threads) pthread_join(t, nullptr);
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace esp::mpi

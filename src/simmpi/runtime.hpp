@@ -1,0 +1,168 @@
+#pragma once
+/// \file runtime.hpp
+/// \brief The MPMD launcher and per-rank execution context.
+///
+/// A Runtime hosts one MPMD job: a list of programs (partitions), each with
+/// a number of processes. Every process is a thread with its own virtual
+/// clock; world ranks are assigned contiguously per program in declaration
+/// order (as `mpirun prog1 : prog2 : ...` would). The runtime owns the
+/// machine model, the mailboxes, the communicator registry, and the tool
+/// chain through which vmpi virtualization and instrumentation attach.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/machine.hpp"
+#include "simmpi/comm.hpp"
+#include "simmpi/mailbox.hpp"
+#include "simmpi/tool.hpp"
+
+namespace esp::mpi {
+
+/// Partition description, queryable by name from any rank — the paper's
+/// VMPI_Partition_desc (processes are "grouped in partitions either by
+/// names or command lines").
+struct PartitionDesc {
+  int id = -1;
+  std::string name;
+  int size = 0;
+  int first_world_rank = 0;
+  bool contains_world(int w) const noexcept {
+    return w >= first_world_rank && w < first_world_rank + size;
+  }
+};
+
+/// Per-rank execution context (one per thread).
+struct RankContext {
+  Runtime* rt = nullptr;
+  int world_rank = -1;
+  int partition_id = -1;
+  int partition_rank = -1;
+  double clock = 0.0;  ///< Virtual time, seconds.
+  std::uint64_t send_seq = 0;
+  Rng rng;
+  /// Per-parent-communicator split counters for deterministic context ids.
+  std::unordered_map<std::uint64_t, std::uint64_t> split_counters;
+
+  void advance(double dt) noexcept { clock += dt; }
+};
+
+/// What a program's main receives on each of its ranks.
+struct ProcEnv {
+  Comm universe;  ///< Real COMM_WORLD spanning the whole MPMD job.
+  Comm world;     ///< Virtualized world: this partition's communicator.
+  const PartitionDesc* partition = nullptr;
+  Runtime* runtime = nullptr;
+  int universe_rank = -1;
+  int world_rank = -1;  ///< Rank within `world`.
+};
+
+using ProgramMain = std::function<void(ProcEnv&)>;
+
+struct ProgramSpec {
+  std::string name;
+  int nprocs = 1;
+  ProgramMain main;
+};
+
+struct RuntimeConfig {
+  net::MachineConfig machine = net::MachineConfig::tera100();
+  /// CPU cost charged on the caller's clock at every public call entry.
+  double call_overhead = 0.2e-6;
+  /// Messages up to this size are staged eagerly (sender does not block).
+  std::uint64_t eager_threshold = 16 * 1024;
+  /// Rank thread stack size.
+  std::size_t stack_bytes = 1 << 20;
+  /// Host-side optimization for large skeleton payloads: at most this many
+  /// bytes are physically copied per message, while *virtual* costs are
+  /// always charged for the full size. Keep at the default (unlimited)
+  /// whenever receivers read payload content beyond the cap — event-pack
+  /// streams stay intact as long as the cap >= the stream block size.
+  std::uint64_t payload_copy_cap = ~0ull;
+  std::uint64_t seed = 42;
+};
+
+class Runtime {
+ public:
+  Runtime(RuntimeConfig cfg, std::vector<ProgramSpec> programs);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Tool chain; attach tools before run().
+  ToolChain& tools() noexcept { return tools_; }
+
+  /// Spawn all rank threads, execute every program, join. Call once.
+  /// The first exception thrown by any rank's program (or tool) is
+  /// captured and rethrown here after every thread exited.
+  void run();
+
+  // ---- topology / partitions -----------------------------------------
+  int world_size() const noexcept { return world_size_; }
+  const std::vector<PartitionDesc>& partitions() const noexcept {
+    return partitions_;
+  }
+  const PartitionDesc* partition_by_name(std::string_view name) const;
+  const PartitionDesc& partition_of_world(int world_rank) const;
+  Comm universe() const { return Comm(universe_data_); }
+  Comm partition_comm(int partition_id) const {
+    return Comm(partition_data_[static_cast<std::size_t>(partition_id)]);
+  }
+
+  // ---- post-run results ----------------------------------------------
+  /// Final virtual clock of one rank (valid after run()).
+  double final_clock(int world_rank) const {
+    return final_clock_[static_cast<std::size_t>(world_rank)];
+  }
+  /// Virtual walltime of a partition = max final clock over its ranks.
+  double partition_walltime(int partition_id) const;
+  double max_walltime() const;
+
+  // ---- services used by Comm / tools ----------------------------------
+  net::Machine& machine() noexcept { return machine_; }
+  const RuntimeConfig& config() const noexcept { return cfg_; }
+  detail::Mailbox& mailbox(int world_rank) {
+    return *mailboxes_[static_cast<std::size_t>(world_rank)];
+  }
+  /// Block mapping: world rank r runs on global core r.
+  int core_of(int world_rank) const noexcept { return world_rank; }
+  /// Allocate a fresh context id (used by split/dup).
+  std::uint64_t next_ctx_component() noexcept { return ctx_counter_.fetch_add(1); }
+  void dispatch_tools(RankContext& rc, const CallInfo& ci);
+
+  /// The calling thread's rank context. Only valid on rank threads.
+  static RankContext& self();
+  /// True when the calling thread is a rank thread of some runtime.
+  static bool on_rank_thread() noexcept;
+
+ private:
+  void rank_main(int world_rank);
+  static void* rank_thread_entry(void* arg);
+
+  RuntimeConfig cfg_;
+  std::vector<ProgramSpec> programs_;
+  std::vector<PartitionDesc> partitions_;
+  int world_size_ = 0;
+  net::Machine machine_;
+  ToolChain tools_;
+  std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+  std::vector<double> final_clock_;
+  std::shared_ptr<CommData> universe_data_;
+  std::vector<std::shared_ptr<CommData>> partition_data_;
+  std::atomic<std::uint64_t> ctx_counter_{1u << 20};
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+  bool ran_ = false;
+};
+
+}  // namespace esp::mpi

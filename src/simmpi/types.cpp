@@ -1,0 +1,32 @@
+#include "simmpi/types.hpp"
+
+namespace esp::mpi {
+
+const char* call_kind_name(CallKind k) noexcept {
+  switch (k) {
+    case CallKind::Send: return "MPI_Send";
+    case CallKind::Recv: return "MPI_Recv";
+    case CallKind::Isend: return "MPI_Isend";
+    case CallKind::Irecv: return "MPI_Irecv";
+    case CallKind::Wait: return "MPI_Wait";
+    case CallKind::Waitall: return "MPI_Waitall";
+    case CallKind::Test: return "MPI_Test";
+    case CallKind::Probe: return "MPI_Iprobe";
+    case CallKind::Barrier: return "MPI_Barrier";
+    case CallKind::Bcast: return "MPI_Bcast";
+    case CallKind::Reduce: return "MPI_Reduce";
+    case CallKind::Allreduce: return "MPI_Allreduce";
+    case CallKind::Gather: return "MPI_Gather";
+    case CallKind::Allgather: return "MPI_Allgather";
+    case CallKind::Alltoall: return "MPI_Alltoall";
+    case CallKind::Scan: return "MPI_Scan";
+    case CallKind::CommSplit: return "MPI_Comm_split";
+    case CallKind::CommDup: return "MPI_Comm_dup";
+    case CallKind::Init: return "MPI_Init";
+    case CallKind::Finalize: return "MPI_Finalize";
+    case CallKind::kCount: break;
+  }
+  return "MPI_Unknown";
+}
+
+}  // namespace esp::mpi

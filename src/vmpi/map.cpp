@@ -1,0 +1,130 @@
+#include "vmpi/map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esp::vmpi {
+
+namespace {
+/// Reserved tag block for the mapping protocol, on the universe p-layer.
+constexpr int kMapTagRank = 0x6f000001;    // slave -> pivot: my rank
+constexpr int kMapTagAssign = 0x6f000002;  // pivot -> slave: your master
+constexpr int kMapTagList = 0x6f000003;    // pivot -> master: your slaves
+
+int local_policy_target(MapPolicy policy, int slave_index, int n_slave,
+                        int n_master) {
+  switch (policy) {
+    case MapPolicy::RoundRobin:
+      return slave_index % n_master;
+    case MapPolicy::Fixed:
+      // Block mapping; contiguous groups of slaves share one master.
+      return static_cast<int>(static_cast<long long>(slave_index) * n_master /
+                              n_slave);
+    default:
+      throw std::logic_error("not a locally-computable policy");
+  }
+}
+}  // namespace
+
+void Map::map_partitions(mpi::ProcEnv& env, int remote_partition_id,
+                         MapPolicy policy, MapFn fn) {
+  auto& rt = *env.runtime;
+  const mpi::PartitionDesc& mine = *env.partition;
+  const auto& parts = rt.partitions();
+  if (remote_partition_id < 0 ||
+      remote_partition_id >= static_cast<int>(parts.size()) ||
+      remote_partition_id == mine.id) {
+    throw std::invalid_argument("bad remote partition id");
+  }
+  const mpi::PartitionDesc& remote =
+      parts[static_cast<std::size_t>(remote_partition_id)];
+
+  // Paper rule: the larger partition is the slave, the smaller the master.
+  const bool i_am_master = (mine.size < remote.size) ||
+                           (mine.size == remote.size && mine.id < remote.id);
+  const mpi::PartitionDesc& master = i_am_master ? mine : remote;
+  const mpi::PartitionDesc& slave = i_am_master ? remote : mine;
+
+  if (policy == MapPolicy::RoundRobin || policy == MapPolicy::Fixed) {
+    // Locally computable (Fig. 8 a and c): no pivot needed.
+    if (!i_am_master) {
+      const int idx = env.universe_rank - slave.first_world_rank;
+      const int target =
+          local_policy_target(policy, idx, slave.size, master.size);
+      peers_.push_back(master.first_world_rank + target);
+    } else {
+      const int me = env.universe_rank - master.first_world_rank;
+      for (int i = 0; i < slave.size; ++i) {
+        if (local_policy_target(policy, i, slave.size, master.size) == me)
+          peers_.push_back(slave.first_world_rank + i);
+      }
+    }
+    return;
+  }
+
+  if (policy == MapPolicy::User && !fn)
+    throw std::invalid_argument("User policy requires a mapping function");
+
+  // Pivot protocol (Fig. 7). The pivot is the master partition's root.
+  const int pivot = master.first_world_rank;
+  const mpi::Comm& u = env.universe;
+
+  if (!i_am_master) {
+    int my_rank = env.universe_rank;
+    u.psend(&my_rank, sizeof my_rank, pivot, kMapTagRank);
+    int assigned = -1;
+    u.precv(&assigned, sizeof assigned, pivot, kMapTagAssign);
+    peers_.push_back(assigned);
+    return;
+  }
+
+  std::vector<int> my_slaves;
+  if (env.universe_rank == pivot) {
+    auto& rc = mpi::Runtime::self();
+    std::vector<std::vector<int>> assignment(
+        static_cast<std::size_t>(master.size));
+    for (int i = 0; i < slave.size; ++i) {
+      int slave_rank = -1;
+      // Ranks arrive in any order; each is answered as it arrives, as in
+      // the paper's incremental pivot.
+      u.precv(&slave_rank, sizeof slave_rank, mpi::kAnySource, kMapTagRank);
+      const int slave_index = slave_rank - slave.first_world_rank;
+      int target;
+      if (policy == MapPolicy::Random) {
+        target = static_cast<int>(
+            rc.rng.below(static_cast<std::uint64_t>(master.size)));
+      } else {
+        target = fn(slave_index, master.size);
+        if (target < 0 || target >= master.size)
+          throw std::out_of_range("user mapping function out of range");
+      }
+      assignment[static_cast<std::size_t>(target)].push_back(slave_rank);
+      int master_rank = master.first_world_rank + target;
+      u.psend(&master_rank, sizeof master_rank, slave_rank, kMapTagAssign);
+    }
+    // Distribute per-master slave lists; doubles as the end-of-mapping
+    // broadcast of the paper.
+    for (int j = 0; j < master.size; ++j) {
+      auto& list = assignment[static_cast<std::size_t>(j)];
+      if (j == 0) {
+        my_slaves = list;
+        continue;
+      }
+      const int count = static_cast<int>(list.size());
+      const int dst = master.first_world_rank + j;
+      u.psend(&count, sizeof count, dst, kMapTagList);
+      if (count > 0)
+        u.psend(list.data(), list.size() * sizeof(int), dst, kMapTagList);
+    }
+  } else {
+    int count = 0;
+    u.precv(&count, sizeof count, pivot, kMapTagList);
+    my_slaves.resize(static_cast<std::size_t>(count));
+    if (count > 0)
+      u.precv(my_slaves.data(), my_slaves.size() * sizeof(int), pivot,
+              kMapTagList);
+  }
+  peers_.insert(peers_.end(), my_slaves.begin(), my_slaves.end());
+}
+
+}  // namespace esp::vmpi

@@ -1,0 +1,64 @@
+#pragma once
+/// \file map.hpp
+/// \brief VMPI_Map: partition-to-partition process mapping (paper §III-A).
+///
+/// A Map associates each local process with a set of matching processes in
+/// a remote partition. Following the paper:
+///   - when mapping two partitions, the *larger* becomes the slave and the
+///     *smaller* the master (Fig. 7);
+///   - locally-computable policies (round-robin, fixed/block) skip the
+///     pivot; the random and user-defined policies run the pivot protocol:
+///     each slave sends its global rank to the master partition's root,
+///     which assigns a master rank per policy and distributes the
+///     association both ways, then broadcasts end-of-mapping;
+///   - maps are *additive*: successive map_partitions() calls append
+///     entries, the feature multi-instrumentation relies on (Fig. 10).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simmpi/runtime.hpp"
+
+namespace esp::vmpi {
+
+/// Default mapping topologies of Fig. 8.
+enum class MapPolicy {
+  RoundRobin,  ///< slave i -> master (i mod m); locally computable.
+  Random,      ///< pivot-assigned uniform choice.
+  Fixed,       ///< block mapping: slave i -> master floor(i*m/n); local.
+  User,        ///< pivot-assigned via a user function.
+};
+
+/// User mapping function: (slave index, master partition size) -> master
+/// index. Evaluated on the pivot, as in the paper.
+using MapFn = std::function<int(int slave_index, int master_size)>;
+
+/// The per-process result of one or more mappings.
+class Map {
+ public:
+  Map() = default;
+
+  /// Forget all entries (VMPI_Map_clear).
+  void clear() { peers_.clear(); }
+
+  /// Collectively map the calling process's partition with partition
+  /// `remote_partition_id`. Every process of BOTH partitions must call
+  /// this. Appends matched *universe* ranks to peers().
+  /// `fn` is required for MapPolicy::User, ignored otherwise.
+  void map_partitions(mpi::ProcEnv& env, int remote_partition_id,
+                      MapPolicy policy, MapFn fn = nullptr);
+
+  /// Manually append one remote universe rank. This is how streams
+  /// "between two arbitrary ranks" (paper §III-A) are expressed.
+  void append_peer(int universe_rank) { peers_.push_back(universe_rank); }
+
+  /// Universe ranks of the remote processes mapped to this process.
+  const std::vector<int>& peers() const noexcept { return peers_; }
+  bool empty() const noexcept { return peers_.empty(); }
+
+ private:
+  std::vector<int> peers_;
+};
+
+}  // namespace esp::vmpi

@@ -1,0 +1,228 @@
+#include "vmpi/stream.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+namespace esp::vmpi {
+
+namespace {
+constexpr int kStreamCtlTag = 0x6f100000;
+constexpr int kStreamDataBase = 0x6f200000;
+
+/// Handshake payload: the writer announces the data tag and geometry.
+struct StreamCtl {
+  int tag = 0;
+  std::uint64_t block_size = 0;
+  int n_async = 0;
+};
+
+std::atomic<int> g_stream_tag_counter{0};
+}  // namespace
+
+Stream::Stream(StreamConfig cfg) : cfg_(cfg) {
+  if (cfg_.block_size == 0) throw std::invalid_argument("block_size == 0");
+  if (cfg_.n_async <= 0) throw std::invalid_argument("n_async must be > 0");
+}
+
+Stream::~Stream() {
+  if (open_ && !closed_ && writer_ && mpi::Runtime::on_rank_thread()) close();
+}
+
+void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
+  if (open_) throw std::logic_error("stream already open");
+  universe_ = env.universe;
+  rt_ = env.runtime;
+  writer_ = mode != nullptr && mode[0] == 'w';
+  open_ = true;
+
+  if (writer_) {
+    peers_ = map.peers();
+    if (peers_.empty()) throw std::invalid_argument("writer has no endpoint");
+    data_tag_ = kStreamDataBase + g_stream_tag_counter.fetch_add(1);
+    StreamCtl ctl{data_tag_, cfg_.block_size, cfg_.n_async};
+    for (int peer : peers_)
+      universe_.psend(&ctl, sizeof ctl, peer, kStreamCtlTag);
+    out_.resize(static_cast<std::size_t>(cfg_.n_async));
+    for (auto& b : out_) b.data = Buffer::make(cfg_.block_size);
+    return;
+  }
+
+  // Reader: one handshake per expected incoming stream, then pre-post the
+  // N_A receive buffers per peer so arrivals always land in a buffer.
+  for (int peer : map.peers()) {
+    StreamCtl ctl;
+    universe_.precv(&ctl, sizeof ctl, peer, kStreamCtlTag);
+    if (!in_peers_.empty() && ctl.block_size != cfg_.block_size)
+      throw std::runtime_error("writers disagree on block size");
+    cfg_.block_size = ctl.block_size;
+    InPeer ip;
+    ip.universe_rank = peer;
+    ip.tag = ctl.tag;
+    ip.slots.resize(static_cast<std::size_t>(cfg_.n_async));
+    for (auto& s : ip.slots) {
+      s.data = Buffer::make(cfg_.block_size);
+      s.req = universe_.pirecv(s.data->data(), cfg_.block_size, peer, ip.tag);
+    }
+    in_peers_.push_back(std::move(ip));
+  }
+  if (in_peers_.empty()) throw std::invalid_argument("reader has no endpoint");
+}
+
+void Stream::open_peer(mpi::ProcEnv& env, int remote_universe_rank,
+                       const char* mode) {
+  Map m;  // degenerate one-entry map
+  m.append_peer(remote_universe_rank);
+  open_map(env, m, mode);
+}
+
+int Stream::next_target() {
+  switch (cfg_.policy) {
+    case BalancePolicy::None:
+      return 0;
+    case BalancePolicy::RoundRobin:
+      return static_cast<int>(rr_next_++ % peers_.size());
+    case BalancePolicy::Random:
+      return static_cast<int>(
+          mpi::Runtime::self().rng.below(peers_.size()));
+  }
+  return 0;
+}
+
+int Stream::acquire_out_buf() {
+  // Prefer a free buffer; otherwise wait for the oldest in flight —
+  // this is the write-side backpressure ("non-blocking until all
+  // asynchronous buffers are full").
+  for (std::size_t i = 0; i < out_.size(); ++i) {
+    if (!out_[i].req) return static_cast<int>(i);
+    if (out_[i].req->is_done()) {
+      mpi::pwait(out_[i].req);
+      out_[i].req.reset();
+      return static_cast<int>(i);
+    }
+  }
+  const std::size_t oldest = blocks_written_ % out_.size();
+  mpi::pwait(out_[oldest].req);
+  out_[oldest].req.reset();
+  return static_cast<int>(oldest);
+}
+
+int Stream::write(const void* buf, int nblocks) {
+  const auto* src = static_cast<const std::byte*>(buf);
+  for (int b = 0; b < nblocks; ++b)
+    write_partial(src + static_cast<std::size_t>(b) * cfg_.block_size,
+                  cfg_.block_size);
+  return nblocks;
+}
+
+int Stream::write_partial(const void* buf, std::uint64_t bytes) {
+  if (!open_ || !writer_) throw std::logic_error("not an open write stream");
+  if (bytes == 0 || bytes > cfg_.block_size)
+    throw std::invalid_argument("bad partial-block size");
+  auto& rc = mpi::Runtime::self();
+  const int slot = acquire_out_buf();
+  auto& ob = out_[static_cast<std::size_t>(slot)];
+  std::memcpy(ob.data->data(), buf, bytes);
+  rc.clock =
+      rt_->machine().local_copy(rt_->core_of(rc.world_rank), bytes, rc.clock);
+  const int peer = peers_[static_cast<std::size_t>(next_target())];
+  ob.req = universe_.pisend(ob.data->data(), bytes, peer, data_tag_);
+  ++blocks_written_;
+  return 1;
+}
+
+int Stream::try_read_block(void* buf) {
+  auto& rc = mpi::Runtime::self();
+  const std::size_t n = in_peers_.size();
+  // Polling order honours the policy: round-robin rotates the start,
+  // random picks a random start, none scans from the first endpoint.
+  std::size_t start = 0;
+  if (cfg_.policy == BalancePolicy::RoundRobin) {
+    start = rr_peer_++ % n;
+  } else if (cfg_.policy == BalancePolicy::Random) {
+    start = rc.rng.below(n);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    auto& ip = in_peers_[(start + k) % n];
+    while (!ip.closed) {
+      auto& slot = ip.slots[ip.head];
+      if (!slot.req || !slot.req->is_done()) break;
+      mpi::Status st = mpi::pwait(slot.req);
+      slot.req.reset();
+      if (st.bytes == 0) {
+        ip.closed = true;  // end-of-stream marker from this writer
+        break;
+      }
+      // Short blocks (a writer's final partial pack) copy and cost only
+      // their actual size; the tail of the caller's buffer is untouched.
+      std::memcpy(buf, slot.data->data(), st.bytes);
+      rc.clock = rt_->machine().local_copy(rt_->core_of(rc.world_rank),
+                                           st.bytes, rc.clock);
+      // Re-post the buffer immediately: a receive slot is always armed.
+      slot.req = universe_.pirecv(slot.data->data(), cfg_.block_size,
+                                  ip.universe_rank, ip.tag);
+      ip.head = (ip.head + 1) % ip.slots.size();
+      ++blocks_read_;
+      return 1;
+    }
+  }
+  for (const auto& ip : in_peers_)
+    if (!ip.closed) return -2;  // still open, nothing ready
+  return 0;                     // every writer closed
+}
+
+int Stream::read(void* buf, int nblocks, int flags) {
+  if (!open_ || writer_) throw std::logic_error("not an open read stream");
+  auto* dst = static_cast<std::byte*>(buf);
+  int got = 0;
+  while (got < nblocks) {
+    const int r =
+        try_read_block(dst + static_cast<std::size_t>(got) * cfg_.block_size);
+    if (r == 1) {
+      ++got;
+      continue;
+    }
+    if (r == 0) return got;  // all writers closed; 0 on first call
+    // Nothing ready.
+    if (got > 0) return got;
+    if (flags & kNonblock) return kEagain;
+    // Block until any head request completes, then rescan.
+    std::vector<mpi::Request> heads;
+    heads.reserve(in_peers_.size());
+    for (auto& ip : in_peers_) {
+      if (!ip.closed && ip.slots[ip.head].req)
+        heads.push_back(ip.slots[ip.head].req);
+    }
+    if (heads.empty()) return 0;
+    // Wait (real time) until any head request completes, without
+    // consuming it: the rescan via try_read_block does the consuming so
+    // per-peer FIFO order and clock accounting stay in one place. The
+    // stream-owned WaitSet outlives every posted receive, so no disarm
+    // is needed.
+    const std::uint64_t ticket = waitset_.snapshot();
+    bool ready = false;
+    for (auto& h : heads)
+      if (h->arm_waitset(&waitset_)) ready = true;
+    if (!ready) waitset_.wait_change(ticket);
+  }
+  return got;
+}
+
+void Stream::close() {
+  if (!open_ || closed_) return;
+  closed_ = true;
+  if (writer_) {
+    std::vector<mpi::Request> pending;
+    for (auto& ob : out_)
+      if (ob.req) pending.push_back(ob.req);
+    mpi::pwaitall(pending);
+    // Zero-byte block = end-of-stream, one per endpoint.
+    for (int peer : peers_) universe_.psend(nullptr, 0, peer, data_tag_);
+  } else {
+    // Drain and cancel nothing: posted receives for already-closed peers
+    // were never reposted; outstanding ones are simply dropped with the
+    // stream (their buffers are owned by the slots).
+  }
+}
+
+}  // namespace esp::vmpi

@@ -1,0 +1,136 @@
+#pragma once
+/// \file stream.hpp
+/// \brief VMPI_Stream: persistent asynchronous channels (paper §III-A,
+/// Fig. 9).
+///
+/// Semantics reproduced from the paper:
+///  - UNIX-pipe-like behaviour: writes are non-blocking until all
+///    asynchronous buffers are in flight (adaptation window between
+///    producer and consumer), reads block unless NONBLOCK is set;
+///  - the write endpoint owns `n_async` output buffers SHARED between all
+///    endpoints (to bound memory when blocks are ~1 MB);
+///  - the read endpoint posts `n_async` receive buffers PER incoming
+///    stream so an arriving block always finds a buffer (no unexpected
+///    message: the transport writes directly into the posted buffer);
+///  - a stream connected to multiple endpoints distributes blocks using a
+///    load-balancing policy (none / random / round-robin), independently
+///    chosen at each endpoint;
+///  - non-blocking read returns kEagain and the next call tries the next
+///    endpoint according to the policy, avoiding circular waits;
+///  - read returns 0 once every remote writer has closed the stream.
+///
+/// Streams run on the universe communicator's PMPI layer in a reserved tag
+/// space, so instrumentation (which rides the tool chain) never sees its
+/// own transport.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "simmpi/runtime.hpp"
+#include "vmpi/map.hpp"
+
+namespace esp::vmpi {
+
+/// Result of Stream::read in non-blocking mode when no block is ready.
+inline constexpr int kEagain = -11;
+
+/// Block-distribution policies (write side) and polling order (read side).
+enum class BalancePolicy { None, Random, RoundRobin };
+
+/// Flags for Stream::read.
+inline constexpr int kNonblock = 1;
+
+struct StreamConfig {
+  std::uint64_t block_size = 1u << 20;  ///< Paper: block size tends to ~1 MB.
+  int n_async = 3;                      ///< N_A of Fig. 9.
+  BalancePolicy policy = BalancePolicy::RoundRobin;
+};
+
+/// A persistent, asynchronous, block-oriented channel between partitions.
+class Stream {
+ public:
+  explicit Stream(StreamConfig cfg = {});
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Open the stream over a mapping ("w" on the writing partition, "r" on
+  /// the reading one). VMPI_Stream_open_map.
+  void open_map(mpi::ProcEnv& env, const Map& map, const char* mode);
+
+  /// Open between two arbitrary universe ranks.
+  void open_peer(mpi::ProcEnv& env, int remote_universe_rank,
+                 const char* mode);
+
+  /// Write `nblocks` blocks of block_size bytes from `buf`. Non-blocking
+  /// until all async output buffers are in flight, then waits for the
+  /// oldest (backpressure). Returns blocks written.
+  int write(const void* buf, int nblocks);
+
+  /// Write one short block of `bytes` <= block_size (a producer's final,
+  /// partially-filled pack). The receiver sees the actual byte count.
+  int write_partial(const void* buf, std::uint64_t bytes);
+
+  /// Read one or more blocks into `buf`, which must hold nblocks *
+  /// block_size() bytes — note block_size() may have been adopted from
+  /// the writers at open_map(). Returns blocks read (>0), kEagain
+  /// (kNonblock set, nothing available), or 0 (all writers closed).
+  int read(void* buf, int nblocks, int flags = 0);
+
+  /// Flush outstanding writes and send end-of-stream to every endpoint.
+  void close();
+
+  bool is_writer() const noexcept { return writer_; }
+  std::uint64_t block_size() const noexcept { return cfg_.block_size; }
+  int endpoint_count() const noexcept { return static_cast<int>(peers_.size()); }
+  std::uint64_t blocks_written() const noexcept { return blocks_written_; }
+  std::uint64_t blocks_read() const noexcept { return blocks_read_; }
+
+ private:
+  struct OutBuf {
+    BufferRef data;
+    mpi::Request req;  ///< In-flight send, or null when free.
+  };
+  struct InSlot {
+    BufferRef data;
+    mpi::Request req;  ///< Posted receive.
+  };
+  struct InPeer {
+    int universe_rank = -1;
+    int tag = 0;
+    std::vector<InSlot> slots;
+    std::size_t head = 0;  ///< Completion order is FIFO per peer.
+    bool closed = false;
+  };
+
+  int next_target();
+  int acquire_out_buf();
+  /// Try to consume one completed block; -2 when nothing ready.
+  int try_read_block(void* buf);
+
+  StreamConfig cfg_;
+  bool open_ = false;
+  bool writer_ = false;
+  bool closed_ = false;
+  mpi::Comm universe_;
+  mpi::Runtime* rt_ = nullptr;
+
+  // Writer side.
+  std::vector<int> peers_;  ///< Reader universe ranks.
+  int data_tag_ = 0;
+  std::vector<OutBuf> out_;
+  std::size_t rr_next_ = 0;
+
+  // Reader side.
+  std::vector<InPeer> in_peers_;
+  std::size_t rr_peer_ = 0;
+  mpi::WaitSet waitset_;  ///< Wait-any target for blocking reads.
+
+  std::uint64_t blocks_written_ = 0;
+  std::uint64_t blocks_read_ = 0;
+};
+
+}  // namespace esp::vmpi

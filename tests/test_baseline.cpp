@@ -1,0 +1,109 @@
+/// \file test_baseline.cpp
+/// \brief Baseline tool models (Fig. 16 comparators): per-call costs,
+/// trace buffering/flushing through the simulated filesystem, collated
+/// profile dumps, and the overhead ordering at scale.
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline_tools.hpp"
+#include "nas/workloads.hpp"
+
+namespace esp::baseline {
+namespace {
+
+using mpi::ProcEnv;
+using mpi::ProgramSpec;
+using mpi::Runtime;
+using mpi::RuntimeConfig;
+
+double run_toy(ToolKind kind, int nprocs, int msgs,
+               std::shared_ptr<BaselineTool>* tool_out = nullptr,
+               BaselineConfig cfg = {}) {
+  std::vector<ProgramSpec> progs;
+  progs.push_back({"toy", nprocs, [msgs](ProcEnv& env) {
+                     std::vector<std::byte> buf(1024);
+                     const int n = env.world.size();
+                     const int peer_up = (env.world_rank + 1) % n;
+                     const int peer_dn = (env.world_rank + n - 1) % n;
+                     for (int i = 0; i < msgs; ++i) {
+                       mpi::Request r =
+                           env.world.irecv(buf.data(), buf.size(), peer_dn, 0);
+                       env.world.send(buf.data(), buf.size(), peer_up, 0);
+                       mpi::wait(r);
+                     }
+                   }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  auto tool = attach_baseline(rt, kind, cfg);
+  rt.run();
+  if (tool_out != nullptr) *tool_out = tool;
+  return rt.partition_walltime(0);
+}
+
+TEST(Baseline, ReferenceAndOnlineAttachNothing) {
+  std::vector<ProgramSpec> progs;
+  progs.push_back({"toy", 1, [](ProcEnv&) {}});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  EXPECT_EQ(attach_baseline(rt, ToolKind::Reference), nullptr);
+  EXPECT_EQ(attach_baseline(rt, ToolKind::OnlineCoupling), nullptr);
+  rt.run();
+  EXPECT_DOUBLE_EQ(rt.partition_walltime(0), 0.0);
+}
+
+TEST(Baseline, EveryToolChargesPerCallCost) {
+  const double ref = run_toy(ToolKind::Reference, 4, 200);
+  for (auto kind : {ToolKind::ScorepProfile, ToolKind::ScorepTrace,
+                    ToolKind::Scalasca}) {
+    const double t = run_toy(kind, 4, 200);
+    EXPECT_GT(t, ref) << tool_kind_name(kind);
+  }
+}
+
+TEST(Baseline, ScalascaCostsMoreThanProfilePerEvent) {
+  const double prof = run_toy(ToolKind::ScorepProfile, 4, 400);
+  const double scal = run_toy(ToolKind::Scalasca, 4, 400);
+  EXPECT_GT(scal, prof);
+}
+
+TEST(Baseline, TraceVolumeMatchesRecordCount) {
+  std::shared_ptr<BaselineTool> tool;
+  run_toy(ToolKind::ScorepTrace, 4, 100, &tool);
+  ASSERT_NE(tool, nullptr);
+  const auto totals = tool->totals();
+  // 4 ranks x 100 iters x 3 calls (irecv+send+wait) = 1200 events.
+  EXPECT_EQ(totals.events, 1200u);
+  BaselineConfig cfg;
+  EXPECT_EQ(totals.trace_bytes, totals.events * cfg.trace_record_bytes);
+}
+
+TEST(Baseline, TraceBufferFlushesMidRun) {
+  std::shared_ptr<BaselineTool> tool;
+  BaselineConfig cfg;
+  cfg.trace_buffer_bytes = 2048;  // tiny: forces flushes during the run
+  run_toy(ToolKind::ScorepTrace, 2, 100, &tool, cfg);
+  ASSERT_NE(tool, nullptr);
+  // Flush metadata ops beyond the per-node create imply mid-run flushes.
+  EXPECT_GT(tool->totals().metadata_ops, 4u);
+}
+
+TEST(Baseline, TraceOverheadGrowsWithScaleFasterThanProfile) {
+  // The Fig. 16 crossover driver: the trace data path degrades with rank
+  // count while the collated profile stays nearly flat.
+  BaselineConfig cfg;
+  cfg.trace_buffer_bytes = 4096;
+  const double ref_small = run_toy(ToolKind::Reference, 4, 150);
+  const double ref_big = run_toy(ToolKind::Reference, 32, 150);
+  double trace_small = run_toy(ToolKind::ScorepTrace, 4, 150, nullptr, cfg);
+  double trace_big = run_toy(ToolKind::ScorepTrace, 32, 150, nullptr, cfg);
+  const double ov_small = (trace_small - ref_small) / ref_small;
+  const double ov_big = (trace_big - ref_big) / ref_big;
+  EXPECT_GT(ov_big, ov_small);
+}
+
+TEST(Baseline, ToolKindNamesAreStable) {
+  EXPECT_STREQ(tool_kind_name(ToolKind::OnlineCoupling), "Online Coupling");
+  EXPECT_STREQ(tool_kind_name(ToolKind::ScorepTrace),
+               "ScoreP trace (MPI+SionLib)");
+}
+
+}  // namespace
+}  // namespace esp::baseline

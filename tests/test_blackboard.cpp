@@ -1,0 +1,238 @@
+/// \file test_blackboard.cpp
+/// \brief Blackboard semantics: sensitivity matching, multi-sensitivity
+/// joins, dynamic (de)registration, ref-counted writability, multi-level
+/// isolation, and worker-pool stress.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "blackboard/blackboard.hpp"
+
+namespace esp::bb {
+namespace {
+
+TEST(Blackboard, TriggersMatchingKs) {
+  Blackboard bb({.workers = 2});
+  std::atomic<int> hits{0};
+  const TypeId t = type_id("evt");
+  bb.register_ks({"counter", {t}, [&](Blackboard&, auto entries) {
+                    EXPECT_EQ(entries.size(), 1u);
+                    hits.fetch_add(entries[0].template as<int>());
+                  }});
+  for (int i = 0; i < 10; ++i) bb.push(DataEntry::of(t, 2));
+  bb.drain();
+  EXPECT_EQ(hits.load(), 20);
+}
+
+TEST(Blackboard, NonMatchingEntriesAreDropped) {
+  Blackboard bb({.workers = 1});
+  std::atomic<int> hits{0};
+  bb.register_ks({"k", {type_id("a")}, [&](Blackboard&, auto) {
+                    hits.fetch_add(1);
+                  }});
+  bb.push(DataEntry::of(type_id("b"), 1));
+  bb.drain();
+  EXPECT_EQ(hits.load(), 0);
+  EXPECT_EQ(bb.stats().entries_pushed, 1u);
+  EXPECT_EQ(bb.stats().jobs_executed, 0u);
+}
+
+TEST(Blackboard, MultiSensitivityJoin) {
+  // KS sensitive to {A, B}: fires only when one of each is available.
+  Blackboard bb({.workers = 2});
+  std::atomic<int> fires{0};
+  std::atomic<int> sum{0};
+  const TypeId a = type_id("A"), b = type_id("B");
+  bb.register_ks({"join", {a, b}, [&](Blackboard&, auto entries) {
+                    fires.fetch_add(1);
+                    sum.fetch_add(entries[0].template as<int>() +
+                                  entries[1].template as<int>());
+                  }});
+  bb.push(DataEntry::of(a, 1));
+  bb.push(DataEntry::of(a, 2));
+  bb.drain();
+  EXPECT_EQ(fires.load(), 0) << "must not fire without a B";
+  bb.push(DataEntry::of(b, 10));
+  bb.drain();
+  EXPECT_EQ(fires.load(), 1);
+  EXPECT_EQ(sum.load(), 11) << "entries must pair FIFO (first A with B)";
+  bb.push(DataEntry::of(b, 20));
+  bb.drain();
+  EXPECT_EQ(fires.load(), 2);
+  EXPECT_EQ(sum.load(), 33);
+}
+
+TEST(Blackboard, DuplicateSensitivityNeedsTwoEntries) {
+  // Paper: "a KS can have multiple sensitivities of the same type".
+  Blackboard bb({.workers = 2});
+  std::atomic<int> fires{0};
+  const TypeId t = type_id("pair");
+  bb.register_ks({"pairwise", {t, t}, [&](Blackboard&, auto entries) {
+                    EXPECT_EQ(entries.size(), 2u);
+                    fires.fetch_add(1);
+                  }});
+  for (int i = 0; i < 7; ++i) bb.push(DataEntry::of(t, i));
+  bb.drain();
+  EXPECT_EQ(fires.load(), 3);  // 7 entries -> 3 pairs, 1 left pending
+}
+
+TEST(Blackboard, KsCanSubmitEntries) {
+  // Data-flow chaining (Fig. 4): unpacker -> events -> profiler.
+  Blackboard bb({.workers = 2});
+  std::atomic<int> stage2{0};
+  const TypeId raw = type_id("raw"), cooked = type_id("cooked");
+  bb.register_ks({"unpack", {raw}, [&](Blackboard& b, auto entries) {
+                    const int n = entries[0].template as<int>();
+                    for (int i = 0; i < n; ++i)
+                      b.push(DataEntry::of(cooked, i));
+                  }});
+  bb.register_ks({"profile", {cooked}, [&](Blackboard&, auto) {
+                    stage2.fetch_add(1);
+                  }});
+  bb.push(DataEntry::of(raw, 5));
+  bb.drain();
+  EXPECT_EQ(stage2.load(), 5);
+}
+
+TEST(Blackboard, KsCanRegisterKs) {
+  Blackboard bb({.workers = 2});
+  std::atomic<int> second{0};
+  const TypeId boot = type_id("boot"), work = type_id("work");
+  bb.register_ks({"bootstrap", {boot}, [&](Blackboard& b, auto) {
+                    b.register_ks({"late", {work}, [&](Blackboard&, auto) {
+                                     second.fetch_add(1);
+                                   }});
+                  }});
+  bb.push(DataEntry::of(boot, 0));
+  bb.drain();
+  bb.push(DataEntry::of(work, 0));
+  bb.drain();
+  EXPECT_EQ(second.load(), 1);
+}
+
+TEST(Blackboard, KsCanRemoveItself) {
+  Blackboard bb({.workers = 1});
+  std::atomic<int> fires{0};
+  const TypeId t = type_id("once");
+  KsId id = 0;
+  id = bb.register_ks({"one-shot", {t}, [&](Blackboard& b, auto) {
+                         fires.fetch_add(1);
+                         b.remove_ks(id);
+                       }});
+  bb.push(DataEntry::of(t, 0));
+  bb.drain();
+  bb.push(DataEntry::of(t, 0));
+  bb.drain();
+  EXPECT_EQ(fires.load(), 1);
+  EXPECT_EQ(bb.stats().ks_removed, 1u);
+}
+
+TEST(Blackboard, MultipleKsShareOneEntry) {
+  Blackboard bb({.workers = 2});
+  std::atomic<int> a{0}, b{0};
+  const TypeId t = type_id("shared");
+  bb.register_ks({"ka", {t}, [&](Blackboard&, auto) { a.fetch_add(1); }});
+  bb.register_ks({"kb", {t}, [&](Blackboard&, auto) { b.fetch_add(1); }});
+  bb.push(DataEntry::of(t, 0));
+  bb.drain();
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 1);
+}
+
+TEST(Blackboard, RefCountWritabilityRule) {
+  // Writable iff ref-count == 1 (paper §III-B).
+  Blackboard bb({.workers = 2});
+  const TypeId t = type_id("buf");
+  std::atomic<bool> was_writable_when_shared{true};
+  std::atomic<bool> exclusive_writable{false};
+
+  auto shared = Buffer::copy_of("x", 1);
+  auto extra_ref = shared;  // second owner
+  bb.register_ks({"check", {t}, [&](Blackboard&, auto entries) {
+                    // Entry payload + `shared` + `extra_ref` => not writable.
+                    was_writable_when_shared.store(
+                        writable(entries[0].payload));
+                  }});
+  bb.push(DataEntry(t, shared));
+  bb.drain();
+  EXPECT_FALSE(was_writable_when_shared.load());
+
+  auto exclusive = Buffer::copy_of("y", 1);
+  exclusive_writable.store(writable(exclusive));
+  EXPECT_TRUE(exclusive_writable.load());
+}
+
+TEST(Blackboard, MultiLevelIsolation) {
+  // The same type name in two levels yields two independent streams
+  // (Fig. 5: one blackboard level per instrumented application).
+  Blackboard bb({.workers = 2});
+  std::atomic<int> app1{0}, app2{0};
+  const TypeId t1 = type_id("app1", "mpi_event");
+  const TypeId t2 = type_id("app2", "mpi_event");
+  ASSERT_NE(t1, t2);
+  bb.register_ks({"p1", {t1}, [&](Blackboard&, auto) { app1.fetch_add(1); }});
+  bb.register_ks({"p2", {t2}, [&](Blackboard&, auto) { app2.fetch_add(1); }});
+  for (int i = 0; i < 3; ++i) bb.push(DataEntry::of(t1, i));
+  bb.push(DataEntry::of(t2, 0));
+  bb.drain();
+  EXPECT_EQ(app1.load(), 3);
+  EXPECT_EQ(app2.load(), 1);
+}
+
+TEST(Blackboard, StressManyEntriesManyWorkers) {
+  Blackboard bb({.workers = 8, .fifo_count = 8});
+  std::atomic<std::int64_t> sum{0};
+  const TypeId t = type_id("n");
+  bb.register_ks({"sum", {t}, [&](Blackboard&, auto entries) {
+                    sum.fetch_add(entries[0].template as<int>());
+                  }});
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) bb.push(DataEntry::of(t, i));
+  bb.drain();
+  EXPECT_EQ(sum.load(), static_cast<std::int64_t>(kN) * (kN - 1) / 2);
+  EXPECT_EQ(bb.stats().jobs_executed, static_cast<std::uint64_t>(kN));
+}
+
+TEST(Blackboard, CascadeDrainWaitsForDescendants) {
+  // drain() must cover jobs spawned by jobs (a 3-deep cascade).
+  Blackboard bb({.workers = 4});
+  std::atomic<int> leaves{0};
+  const TypeId l0 = type_id("l0"), l1 = type_id("l1"), l2 = type_id("l2");
+  bb.register_ks({"f0", {l0}, [&](Blackboard& b, auto) {
+                    for (int i = 0; i < 4; ++i) b.push(DataEntry::of(l1, i));
+                  }});
+  bb.register_ks({"f1", {l1}, [&](Blackboard& b, auto) {
+                    for (int i = 0; i < 4; ++i) b.push(DataEntry::of(l2, i));
+                  }});
+  bb.register_ks({"f2", {l2}, [&](Blackboard&, auto) {
+                    leaves.fetch_add(1);
+                  }});
+  bb.push(DataEntry::of(l0, 0));
+  bb.drain();
+  EXPECT_EQ(leaves.load(), 16);
+}
+
+class BlackboardGeometryP
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BlackboardGeometryP, CountsAreExactUnderAnyGeometry) {
+  const auto [workers, fifos] = GetParam();
+  Blackboard bb({.workers = workers, .fifo_count = fifos});
+  std::atomic<int> hits{0};
+  const TypeId t = type_id("x");
+  bb.register_ks({"k", {t}, [&](Blackboard&, auto) { hits.fetch_add(1); }});
+  for (int i = 0; i < 500; ++i) bb.push(DataEntry::of(t, i));
+  bb.drain();
+  EXPECT_EQ(hits.load(), 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BlackboardGeometryP,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(1, 4, 32)));
+
+}  // namespace
+}  // namespace esp::bb

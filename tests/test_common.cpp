@@ -1,0 +1,178 @@
+/// \file test_common.cpp
+/// \brief Foundation utilities: hashing, PRNG, buffers, units, tables,
+/// artifact writers.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/buffer.hpp"
+#include "common/env.hpp"
+#include "common/hash.hpp"
+#include "common/io_writers.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace esp {
+namespace {
+
+TEST(Hash, StableAndDistinct) {
+  EXPECT_EQ(fnv1a("mpi_events"), fnv1a("mpi_events"));
+  EXPECT_NE(fnv1a("mpi_events"), fnv1a("mpi_eventS"));
+  EXPECT_NE(fnv1a(""), 0u);
+  // Multi-level ids: same type name, different level -> different id.
+  EXPECT_NE(hash_combine(fnv1a("app1"), fnv1a("t")),
+            hash_combine(fnv1a("app2"), fnv1a("t")));
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i)
+    if (a2.next() != c.next()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Rng r(7);
+  bool seen[10] = {};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(10);
+    ASSERT_LT(v, 10u);
+    seen[v] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 3.0);
+    ASSERT_GE(v, 2.0);
+    ASSERT_LT(v, 3.0);
+  }
+}
+
+TEST(Buffer, WritableIffUniqueOwner) {
+  auto b = Buffer::copy_of("abc", 3);
+  EXPECT_TRUE(writable(b));
+  auto alias = b;
+  EXPECT_FALSE(writable(b));
+  alias.reset();
+  EXPECT_TRUE(writable(b));
+  BufferRef null;
+  EXPECT_FALSE(writable(null));
+}
+
+TEST(Buffer, TypedViews) {
+  std::uint32_t vals[3] = {1, 2, 3};
+  auto b = Buffer::copy_of(vals, sizeof vals);
+  auto span = b->as<std::uint32_t>();
+  ASSERT_EQ(span.size(), 3u);
+  EXPECT_EQ(span[2], 3u);
+  b->as_mutable<std::uint32_t>()[0] = 9;
+  EXPECT_EQ(b->as<std::uint32_t>()[0], 9u);
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(format_bytes(1.5e9), "1.50 GB");
+  EXPECT_EQ(format_bandwidth(98.5e9), "98.50 GB/s");
+  EXPECT_EQ(format_time(1.5e-6), "1.50 us");
+  EXPECT_EQ(format_time(0.25), "250.00 ms");
+  EXPECT_EQ(format_time(2.0), "2.000 s");
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"a", "bb"});
+  t.row("x", 12);
+  t.row("longer", 3.5);
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("3.500"), std::string::npos);
+}
+
+TEST(Matrix, SumAndMax) {
+  Matrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(1, 2) = 5;
+  EXPECT_DOUBLE_EQ(m.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(m.max(), 5.0);
+}
+
+TEST(IoWriters, CsvRoundtrip) {
+  const std::string path = "test_common_matrix.csv";
+  Matrix m(2, 2);
+  m.at(0, 1) = 2.5;
+  ASSERT_TRUE(write_csv(path, m));
+  std::ifstream in(path);
+  std::string l1, l2;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  EXPECT_EQ(l1, "0,2.5");
+  EXPECT_EQ(l2, "0,0");
+  std::filesystem::remove(path);
+}
+
+TEST(IoWriters, PpmHeaderAndSize) {
+  const std::string path = "test_common.ppm";
+  Matrix m(3, 4);
+  m.at(1, 1) = 1.0;
+  ASSERT_TRUE(write_ppm_heatmap(path, m, true, 2));
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, depth = 0;
+  in >> magic >> w >> h >> depth;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 8);
+  EXPECT_EQ(h, 6);
+  EXPECT_EQ(depth, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> px(static_cast<std::size_t>(w) * h * 3);
+  in.read(px.data(), static_cast<std::streamsize>(px.size()));
+  EXPECT_EQ(in.gcount(), static_cast<std::streamsize>(px.size()));
+  std::filesystem::remove(path);
+}
+
+TEST(IoWriters, DotGraphContainsEdges) {
+  const std::string path = "test_common.dot";
+  Matrix m(3, 3);
+  m.at(0, 1) = 4.0;
+  m.at(2, 0) = 1.0;
+  ASSERT_TRUE(write_dot_graph(path, m, "g"));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(dot.find("2 -> 0"), std::string::npos);
+  EXPECT_EQ(dot.find("1 -> 2"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Env, IntFlagAndString) {
+  setenv("ESP_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("ESP_TEST_INT", 0), 42);
+  EXPECT_EQ(env_int("ESP_TEST_MISSING", 7), 7);
+  setenv("ESP_TEST_FLAG", "yes", 1);
+  EXPECT_TRUE(env_flag("ESP_TEST_FLAG"));
+  setenv("ESP_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("ESP_TEST_FLAG"));
+  EXPECT_EQ(env_str("ESP_TEST_MISSING", "d"), "d");
+  unsetenv("ESP_TEST_INT");
+  unsetenv("ESP_TEST_FLAG");
+}
+
+}  // namespace
+}  // namespace esp

@@ -1,0 +1,179 @@
+/// \file test_modules_ext.cpp
+/// \brief Extended analysis modules: temporal maps and wait-state
+/// (late-sender) detection, both standalone and through the full online
+/// pipeline with multiple analyzer ranks (reduction path).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/modules_ext.hpp"
+#include "instrument/online_instrument.hpp"
+
+namespace esp::an {
+namespace {
+
+using inst::Event;
+using inst::PackHeader;
+
+BufferRef pack_of(int app_rank, const std::vector<Event>& events) {
+  auto buf = Buffer::make(sizeof(PackHeader) + events.size() * sizeof(Event));
+  PackHeader h;
+  h.app_id = 0;
+  h.app_rank = app_rank;
+  h.event_count = static_cast<std::uint32_t>(events.size());
+  std::memcpy(buf->data(), &h, sizeof h);
+  std::memcpy(buf->data() + sizeof h, events.data(),
+              events.size() * sizeof(Event));
+  return buf;
+}
+
+Event make_event(mpi::CallKind k, int rank, double t0, double t1,
+                 int peer = -1, std::uint64_t bytes = 0) {
+  Event e;
+  e.kind = inst::event_kind(k);
+  e.rank = rank;
+  e.peer = peer;
+  e.bytes = bytes;
+  e.t_begin = t0;
+  e.t_end = t1;
+  return e;
+}
+
+TEST(TemporalMap, BinsEventDurations) {
+  bb::Blackboard board({.workers = 1});
+  const AppLevel level{0, "app", 2};
+  register_dispatcher(board, {level});
+  register_unpacker(board, level);
+  TemporalMapModule mod(10e-3);  // 10 ms bins
+  mod.register_on(board, level);
+
+  // Rank 0: one call spanning bins 0-2 (5 ms .. 25 ms).
+  // Rank 1: one call fully inside bin 3.
+  board.push(pack_type(),
+             pack_of(0, {make_event(mpi::CallKind::Send, 0, 5e-3, 25e-3),
+                         make_event(mpi::CallKind::Recv, 1, 31e-3, 34e-3)}));
+  board.drain();
+  board.stop();
+
+  AppResults res;
+  mod.merge_into(res, 0);
+  ASSERT_EQ(res.temporal.per_rank.size(), 2u);
+  const auto& r0 = res.temporal.per_rank[0];
+  ASSERT_GE(r0.size(), 3u);
+  EXPECT_NEAR(r0[0], 5e-3, 1e-9);   // 5..10 ms
+  EXPECT_NEAR(r0[1], 10e-3, 1e-9);  // 10..20 ms
+  EXPECT_NEAR(r0[2], 5e-3, 1e-9);   // 20..25 ms
+  const auto& r1 = res.temporal.per_rank[1];
+  ASSERT_GE(r1.size(), 4u);
+  EXPECT_NEAR(r1[3], 3e-3, 1e-9);
+  EXPECT_EQ(res.temporal.bins(), 4u);
+}
+
+TEST(WaitStates, FlagsOnlyExcessiveReceives) {
+  bb::Blackboard board({.workers = 1});
+  const AppLevel level{0, "app", 4};
+  register_dispatcher(board, {level});
+  register_unpacker(board, level);
+  WaitStateModule mod(/*bw=*/1e9, /*lat=*/1e-6, /*threshold=*/10e-6);
+  mod.register_on(board, level);
+
+  const std::uint64_t bytes = 1 << 20;  // wire time ~1.05 ms at 1 GB/s
+  board.push(
+      pack_type(),
+      pack_of(0, {
+                     // Legitimate: duration ~= wire time.
+                     make_event(mpi::CallKind::Recv, 0, 0.0, 1.053e-3, 1, bytes),
+                     // Late sender: blocked 5 ms beyond wire time.
+                     make_event(mpi::CallKind::Recv, 2, 0.0, 6.05e-3, 3, bytes),
+                     // Wait completing a receive, also late.
+                     make_event(mpi::CallKind::Wait, 2, 0.0, 3.05e-3, 1, bytes),
+                     // Send events are never wait states.
+                     make_event(mpi::CallKind::Send, 1, 0.0, 9e-3, 0, bytes),
+                 }));
+  board.drain();
+  board.stop();
+
+  AppResults res;
+  mod.merge_into(res, 0);
+  EXPECT_NEAR(res.waits.late_time_per_rank[2], 5e-3 + 2e-3, 1e-4);
+  EXPECT_DOUBLE_EQ(res.waits.late_time_per_rank[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.waits.late_time_per_rank[1], 0.0);
+  EXPECT_EQ(res.waits.pair_wait.size(), 2u);
+  EXPECT_GT(res.waits.pair_wait[AppResults::comm_key(2, 3)], 4e-3);
+}
+
+TEST(ExtendedPipeline, TemporalAndWaitsSurviveReduction) {
+  // Full pipeline with 2 analyzer ranks: the serialized reduction must
+  // carry temporal rasters and wait states to rank 0 intact.
+  auto results = std::make_shared<AnalysisResults>();
+  AnalyzerConfig acfg;
+  acfg.results = results;
+  acfg.board.workers = 2;
+  acfg.temporal_bin_seconds = 1e-3;
+
+  std::vector<mpi::ProgramSpec> progs;
+  progs.push_back({"app", 4, [](mpi::ProcEnv& env) {
+                     std::vector<std::byte> buf(64 * 1024);
+                     const int n = env.world.size();
+                     for (int i = 0; i < 10; ++i) {
+                       // Ring with rank-dependent compute: rank 0 is slow,
+                       // so its successor sees late-sender waits.
+                       mpi::compute(env.world_rank == 0 ? 2e-3 : 50e-6);
+                       mpi::Request r = env.world.irecv(
+                           buf.data(), buf.size(),
+                           (env.world_rank + n - 1) % n, 0);
+                       env.world.send(buf.data(), buf.size(),
+                                      (env.world_rank + 1) % n, 0);
+                       mpi::wait(r);
+                     }
+                   }});
+  progs.push_back({"analyzer", 2, [acfg](mpi::ProcEnv& env) {
+                     an::run_analyzer(env, acfg);
+                   }});
+  mpi::Runtime rt(mpi::RuntimeConfig{}, std::move(progs));
+  inst::attach_online_instrumentation(rt);
+  rt.run();
+
+  AppResults* app = results->find(0);
+  ASSERT_NE(app, nullptr);
+  // Temporal raster covers all 4 ranks and a positive span.
+  ASSERT_EQ(app->temporal.per_rank.size(), 4u);
+  EXPECT_GT(app->temporal.bins(), 0u);
+  double temporal_total = 0;
+  for (const auto& row : app->temporal.per_rank)
+    for (double v : row) temporal_total += v;
+  EXPECT_GT(temporal_total, 0.0);
+  // Rank 1 waits on the slow rank 0.
+  ASSERT_EQ(app->waits.late_time_per_rank.size(), 4u);
+  EXPECT_GT(app->waits.total(), 0.0);
+  auto it = app->waits.pair_wait.find(AppResults::comm_key(1, 0));
+  ASSERT_NE(it, app->waits.pair_wait.end());
+  EXPECT_GT(it->second, 5e-3);
+}
+
+TEST(ExtendedPipeline, ModulesCanBeDisabled) {
+  auto results = std::make_shared<AnalysisResults>();
+  AnalyzerConfig acfg;
+  acfg.results = results;
+  acfg.enable_temporal = false;
+  acfg.enable_wait_states = false;
+  std::vector<mpi::ProgramSpec> progs;
+  progs.push_back({"app", 2, [](mpi::ProcEnv& env) {
+                     env.world.barrier();
+                   }});
+  progs.push_back({"analyzer", 1, [acfg](mpi::ProcEnv& env) {
+                     an::run_analyzer(env, acfg);
+                   }});
+  mpi::Runtime rt(mpi::RuntimeConfig{}, std::move(progs));
+  inst::attach_online_instrumentation(rt);
+  rt.run();
+  AppResults* app = results->find(0);
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(app->temporal.bins(), 0u);
+  EXPECT_DOUBLE_EQ(app->waits.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace esp::an

@@ -1,0 +1,146 @@
+/// \file test_trace_export.cpp
+/// \brief The selective trace-export IO proxy: filtering, multi-app
+/// separation, ETF file roundtrip, corruption rejection.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/trace_export.hpp"
+
+namespace esp::an {
+namespace {
+
+using inst::Event;
+using inst::EventKind;
+using inst::PackHeader;
+
+BufferRef pack_of(std::uint32_t app_id, int app_rank,
+                  const std::vector<Event>& events) {
+  auto buf = Buffer::make(sizeof(PackHeader) + events.size() * sizeof(Event));
+  PackHeader h;
+  h.app_id = app_id;
+  h.app_rank = app_rank;
+  h.event_count = static_cast<std::uint32_t>(events.size());
+  std::memcpy(buf->data(), &h, sizeof h);
+  std::memcpy(buf->data() + sizeof h, events.data(),
+              events.size() * sizeof(Event));
+  return buf;
+}
+
+Event ev_of(mpi::CallKind k, int rank, std::uint64_t bytes = 0) {
+  Event e;
+  e.kind = inst::event_kind(k);
+  e.rank = rank;
+  e.bytes = bytes;
+  return e;
+}
+
+struct Rig {
+  bb::Blackboard board{{.workers = 2}};
+  std::vector<AppLevel> levels;
+
+  explicit Rig(std::vector<AppLevel> lv) : levels(std::move(lv)) {
+    register_dispatcher(board, levels);
+    for (const auto& l : levels) register_unpacker(board, l);
+  }
+};
+
+TEST(TraceExport, CollectsEverythingWithoutFilter) {
+  Rig rig({{0, "a", 4}});
+  TraceExport exp;
+  exp.register_on(rig.board, rig.levels[0]);
+  rig.board.push(pack_type(), pack_of(0, 0,
+                                      {ev_of(mpi::CallKind::Send, 0, 10),
+                                       ev_of(mpi::CallKind::Recv, 1, 10),
+                                       ev_of(mpi::CallKind::Barrier, 2)}));
+  rig.board.drain();
+  EXPECT_EQ(exp.records().size(), 3u);
+  EXPECT_EQ(exp.dropped(), 0u);
+}
+
+TEST(TraceExport, KindFilterIsSelective) {
+  Rig rig({{0, "a", 4}});
+  TraceExport exp(filter_kinds({inst::event_kind(mpi::CallKind::Send)}));
+  exp.register_on(rig.board, rig.levels[0]);
+  rig.board.push(pack_type(), pack_of(0, 0,
+                                      {ev_of(mpi::CallKind::Send, 0, 1),
+                                       ev_of(mpi::CallKind::Recv, 0, 1),
+                                       ev_of(mpi::CallKind::Send, 1, 2),
+                                       ev_of(mpi::CallKind::Wait, 1)}));
+  rig.board.drain();
+  const auto recs = exp.records();
+  ASSERT_EQ(recs.size(), 2u);
+  for (const auto& r : recs)
+    EXPECT_EQ(inst::to_call_kind(r.event.kind), mpi::CallKind::Send);
+  EXPECT_EQ(exp.dropped(), 2u);
+}
+
+TEST(TraceExport, RankFilter) {
+  Rig rig({{0, "a", 8}});
+  TraceExport exp(filter_ranks(2, 3));
+  exp.register_on(rig.board, rig.levels[0]);
+  std::vector<Event> events;
+  for (int r = 0; r < 8; ++r) events.push_back(ev_of(mpi::CallKind::Send, r));
+  rig.board.push(pack_type(), pack_of(0, 0, events));
+  rig.board.drain();
+  EXPECT_EQ(exp.records().size(), 2u);
+}
+
+TEST(TraceExport, MultiAppSeparationAndFileRoundtrip) {
+  Rig rig({{0, "a", 2}, {1, "b", 2}});
+  TraceExport exp;
+  exp.register_on(rig.board, rig.levels[0]);
+  exp.register_on(rig.board, rig.levels[1]);
+  rig.board.push(pack_type(),
+                 pack_of(0, 0, {ev_of(mpi::CallKind::Send, 0, 111)}));
+  rig.board.push(pack_type(),
+                 pack_of(1, 1,
+                         {ev_of(mpi::CallKind::Recv, 1, 222),
+                          ev_of(mpi::CallKind::Barrier, 0)}));
+  rig.board.drain();
+
+  const std::string all = "etf_all.trace", only_b = "etf_b.trace";
+  ASSERT_TRUE(exp.write(all));
+  ASSERT_TRUE(exp.write(only_b, 1));
+
+  TraceReader reader;
+  ASSERT_TRUE(reader.load(all));
+  EXPECT_EQ(reader.records().size(), 3u);
+
+  TraceReader reader_b;
+  ASSERT_TRUE(reader_b.load(only_b));
+  ASSERT_EQ(reader_b.records().size(), 2u);
+  for (const auto& r : reader_b.records()) EXPECT_EQ(r.app_id, 1u);
+  EXPECT_EQ(reader_b.records()[0].event.bytes, 222u);
+
+  std::filesystem::remove(all);
+  std::filesystem::remove(only_b);
+}
+
+TEST(TraceReader, RejectsCorruptFiles) {
+  TraceReader r;
+  EXPECT_FALSE(r.load("no_such_file.trace"));
+
+  const std::string bad = "etf_bad.trace";
+  {
+    std::ofstream os(bad, std::ios::binary);
+    os << "this is not a trace";
+  }
+  EXPECT_FALSE(r.load(bad));
+
+  // Truncated payload: header promises more records than present.
+  {
+    std::ofstream os(bad, std::ios::binary);
+    EtfHeader h;
+    h.record_count = 100;
+    os.write(reinterpret_cast<const char*>(&h), sizeof h);
+  }
+  EXPECT_FALSE(r.load(bad));
+  std::filesystem::remove(bad);
+}
+
+}  // namespace
+}  // namespace esp::an

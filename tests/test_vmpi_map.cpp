@@ -1,0 +1,162 @@
+/// \file test_vmpi_map.cpp
+/// \brief VMPI_Map: policy correctness, pivot protocol, additive maps.
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "vmpi/map.hpp"
+
+namespace esp::vmpi {
+namespace {
+
+using mpi::ProcEnv;
+using mpi::ProgramSpec;
+using mpi::Runtime;
+using mpi::RuntimeConfig;
+
+/// Launch an (apps, analyzer) pair and collect each process's peers.
+struct MappingResult {
+  std::vector<std::vector<int>> app_peers;       // by app partition rank
+  std::vector<std::vector<int>> analyzer_peers;  // by analyzer rank
+};
+
+MappingResult run_mapping(int n_app, int n_analyzer, MapPolicy policy,
+                          MapFn fn = nullptr) {
+  MappingResult res;
+  res.app_peers.resize(static_cast<std::size_t>(n_app));
+  res.analyzer_peers.resize(static_cast<std::size_t>(n_analyzer));
+  std::mutex mu;
+
+  std::vector<ProgramSpec> progs;
+  progs.push_back({"app", n_app, [&](ProcEnv& env) {
+                     const auto* an =
+                         env.runtime->partition_by_name("analyzer");
+                     Map m;
+                     m.map_partitions(env, an->id, policy, fn);
+                     std::lock_guard lock(mu);
+                     res.app_peers[static_cast<std::size_t>(env.world_rank)] =
+                         m.peers();
+                   }});
+  progs.push_back({"analyzer", n_analyzer, [&](ProcEnv& env) {
+                     const auto* ap = env.runtime->partition_by_name("app");
+                     Map m;
+                     m.map_partitions(env, ap->id, policy, fn);
+                     std::lock_guard lock(mu);
+                     res.analyzer_peers[static_cast<std::size_t>(
+                         env.world_rank)] = m.peers();
+                   }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  rt.run();
+  return res;
+}
+
+/// Invariants shared by every total mapping: each slave has exactly one
+/// master, and the two directions agree.
+void check_consistency(const MappingResult& r, int n_app, int n_analyzer) {
+  for (int i = 0; i < n_app; ++i)
+    ASSERT_EQ(r.app_peers[static_cast<std::size_t>(i)].size(), 1u)
+        << "slave " << i;
+  std::multiset<int> from_masters;
+  for (int j = 0; j < n_analyzer; ++j)
+    for (int s : r.analyzer_peers[static_cast<std::size_t>(j)])
+      from_masters.insert(s);
+  EXPECT_EQ(from_masters.size(), static_cast<std::size_t>(n_app));
+  for (int i = 0; i < n_app; ++i) {
+    const int master = r.app_peers[static_cast<std::size_t>(i)][0];
+    const int mi = master - n_app;  // analyzer first world rank == n_app
+    ASSERT_GE(mi, 0);
+    ASSERT_LT(mi, n_analyzer);
+    const auto& back = r.analyzer_peers[static_cast<std::size_t>(mi)];
+    EXPECT_NE(std::find(back.begin(), back.end(), i), back.end())
+        << "both-ways association broken for slave " << i;
+  }
+}
+
+TEST(VmpiMap, RoundRobinAssignsModulo) {
+  const int n_app = 8, n_an = 3;
+  auto r = run_mapping(n_app, n_an, MapPolicy::RoundRobin);
+  check_consistency(r, n_app, n_an);
+  for (int i = 0; i < n_app; ++i)
+    EXPECT_EQ(r.app_peers[static_cast<std::size_t>(i)][0], n_app + i % n_an);
+}
+
+TEST(VmpiMap, FixedAssignsBlocks) {
+  const int n_app = 8, n_an = 2;
+  auto r = run_mapping(n_app, n_an, MapPolicy::Fixed);
+  check_consistency(r, n_app, n_an);
+  for (int i = 0; i < n_app; ++i)
+    EXPECT_EQ(r.app_peers[static_cast<std::size_t>(i)][0],
+              n_app + (i * n_an) / n_app);
+}
+
+TEST(VmpiMap, RandomIsTotalAndConsistent) {
+  const int n_app = 16, n_an = 4;
+  auto r = run_mapping(n_app, n_an, MapPolicy::Random);
+  check_consistency(r, n_app, n_an);
+}
+
+TEST(VmpiMap, UserFunctionIsHonoured) {
+  const int n_app = 9, n_an = 3;
+  auto fn = [](int slave_index, int master_size) {
+    return (slave_index * slave_index) % master_size;
+  };
+  auto r = run_mapping(n_app, n_an, MapPolicy::User, fn);
+  check_consistency(r, n_app, n_an);
+  for (int i = 0; i < n_app; ++i)
+    EXPECT_EQ(r.app_peers[static_cast<std::size_t>(i)][0],
+              n_app + (i * i) % n_an);
+}
+
+TEST(VmpiMap, OneToOneWhenEqualSizes) {
+  // Equal sizes: partition with smaller id is the master.
+  const int n = 4;
+  auto r = run_mapping(n, n, MapPolicy::RoundRobin);
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(r.analyzer_peers[static_cast<std::size_t>(i)].size(), 1u);
+    EXPECT_EQ(r.analyzer_peers[static_cast<std::size_t>(i)][0], i % n);
+  }
+}
+
+TEST(VmpiMap, AdditiveMappingAcrossPartitions) {
+  // One analyzer partition maps two app partitions additively (Fig. 10).
+  std::vector<std::vector<int>> analyzer_peers(2);
+  std::mutex mu;
+  std::vector<ProgramSpec> progs;
+  auto app_main = [](ProcEnv& env) {
+    Map m;
+    m.map_partitions(env, env.runtime->partition_by_name("analyzer")->id,
+                     MapPolicy::RoundRobin);
+  };
+  progs.push_back({"app_a", 3, app_main});
+  progs.push_back({"app_b", 5, app_main});
+  progs.push_back({"analyzer", 2, [&](ProcEnv& env) {
+                     Map m;
+                     for (int p = 0;
+                          p < static_cast<int>(env.runtime->partitions().size());
+                          ++p) {
+                       if (p == env.partition->id) continue;
+                       m.map_partitions(env, p, MapPolicy::RoundRobin);
+                     }
+                     std::lock_guard lock(mu);
+                     analyzer_peers[static_cast<std::size_t>(env.world_rank)] =
+                         m.peers();
+                   }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  rt.run();
+  std::size_t total = analyzer_peers[0].size() + analyzer_peers[1].size();
+  EXPECT_EQ(total, 8u);  // every app rank mapped exactly once
+}
+
+TEST(VmpiMap, ClearForgetsEntries) {
+  Map m;
+  m.append_peer(3);
+  EXPECT_FALSE(m.empty());
+  m.clear();
+  EXPECT_TRUE(m.empty());
+}
+
+}  // namespace
+}  // namespace esp::vmpi

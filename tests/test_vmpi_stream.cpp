@@ -1,0 +1,247 @@
+/// \file test_vmpi_stream.cpp
+/// \brief VMPI_Stream: data integrity, EOF, EAGAIN, backpressure, policies.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "vmpi/stream.hpp"
+
+namespace esp::vmpi {
+namespace {
+
+using mpi::ProcEnv;
+using mpi::ProgramSpec;
+using mpi::Runtime;
+using mpi::RuntimeConfig;
+
+/// Fill a block with a sequence derived from (writer, index) so the reader
+/// can verify provenance and integrity.
+void fill_block(std::vector<std::byte>& block, int writer, int index) {
+  auto* p = reinterpret_cast<std::uint64_t*>(block.data());
+  const std::size_t n = block.size() / sizeof(std::uint64_t);
+  p[0] = static_cast<std::uint64_t>(writer);
+  p[1] = static_cast<std::uint64_t>(index);
+  for (std::size_t i = 2; i < n; ++i)
+    p[i] = esp::mix64((static_cast<std::uint64_t>(writer) << 32) ^
+                      (static_cast<std::uint64_t>(index) << 16) ^ i);
+}
+
+bool check_block(const std::vector<std::byte>& block) {
+  const auto* p = reinterpret_cast<const std::uint64_t*>(block.data());
+  const std::size_t n = block.size() / sizeof(std::uint64_t);
+  const auto writer = p[0];
+  const auto index = p[1];
+  for (std::size_t i = 2; i < n; ++i)
+    if (p[i] != esp::mix64((writer << 32) ^ (index << 16) ^ i)) return false;
+  return true;
+}
+
+struct CouplingResult {
+  std::atomic<std::uint64_t> blocks_received{0};
+  std::atomic<std::uint64_t> corrupt{0};
+};
+
+/// The coupling codes of paper Figs. 11 and 12: writers stream
+/// `blocks_per_writer` blocks through a round-robin map to readers.
+void run_coupling(int n_writers, int n_readers, int blocks_per_writer,
+                  std::uint64_t block_size, BalancePolicy policy,
+                  CouplingResult& res) {
+  std::vector<ProgramSpec> progs;
+  progs.push_back(
+      {"app", n_writers, [=](ProcEnv& env) {
+         Map map;
+         map.map_partitions(env, env.runtime->partition_by_name("Analyzer")->id,
+                            MapPolicy::RoundRobin);
+         Stream st({block_size, 3, policy});
+         st.open_map(env, map, "w");
+         std::vector<std::byte> block(block_size);
+         for (int b = 0; b < blocks_per_writer; ++b) {
+           fill_block(block, env.universe_rank, b);
+           st.write(block.data(), 1);
+         }
+         st.close();
+       }});
+  progs.push_back(
+      {"Analyzer", n_readers, [=, &res](ProcEnv& env) {
+         Map map;
+         map.map_partitions(env, env.runtime->partition_by_name("app")->id,
+                            MapPolicy::RoundRobin);
+         Stream st({block_size, 3, policy});
+         st.open_map(env, map, "r");
+         std::vector<std::byte> block(block_size);
+         int ret;
+         do {
+           ret = st.read(block.data(), 1, kNonblock);
+           if (ret == kEagain) continue;
+           if (ret > 0) {
+             res.blocks_received.fetch_add(1);
+             if (!check_block(block)) res.corrupt.fetch_add(1);
+           }
+         } while (ret != 0);
+       }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  rt.run();
+}
+
+TEST(VmpiStream, SingleWriterSingleReaderIntegrity) {
+  CouplingResult res;
+  run_coupling(1, 1, 32, 64 * 1024, BalancePolicy::RoundRobin, res);
+  EXPECT_EQ(res.blocks_received.load(), 32u);
+  EXPECT_EQ(res.corrupt.load(), 0u);
+}
+
+TEST(VmpiStream, ManyWritersOneReader) {
+  CouplingResult res;
+  run_coupling(6, 1, 10, 32 * 1024, BalancePolicy::RoundRobin, res);
+  EXPECT_EQ(res.blocks_received.load(), 60u);
+  EXPECT_EQ(res.corrupt.load(), 0u);
+}
+
+TEST(VmpiStream, ManyWritersManyReaders) {
+  CouplingResult res;
+  run_coupling(8, 3, 8, 16 * 1024, BalancePolicy::RoundRobin, res);
+  EXPECT_EQ(res.blocks_received.load(), 64u);
+  EXPECT_EQ(res.corrupt.load(), 0u);
+}
+
+class StreamPolicyP : public ::testing::TestWithParam<BalancePolicy> {};
+
+TEST_P(StreamPolicyP, AllBlocksArriveUncorrupted) {
+  CouplingResult res;
+  run_coupling(5, 2, 12, 8 * 1024, GetParam(), res);
+  EXPECT_EQ(res.blocks_received.load(), 60u);
+  EXPECT_EQ(res.corrupt.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, StreamPolicyP,
+                         ::testing::Values(BalancePolicy::None,
+                                           BalancePolicy::Random,
+                                           BalancePolicy::RoundRobin));
+
+class StreamBlockSizeP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamBlockSizeP, IntegrityAcrossBlockSizes) {
+  CouplingResult res;
+  run_coupling(2, 1, 6, GetParam(), BalancePolicy::RoundRobin, res);
+  EXPECT_EQ(res.blocks_received.load(), 12u);
+  EXPECT_EQ(res.corrupt.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StreamBlockSizeP,
+                         ::testing::Values(256, 4 * 1024, 64 * 1024,
+                                           1u << 20));
+
+TEST(VmpiStream, BlockingReadDrainsEverything) {
+  std::atomic<int> got{0};
+  std::vector<ProgramSpec> progs;
+  progs.push_back({"w", 2, [](ProcEnv& env) {
+                     Map m;
+                     m.map_partitions(
+                         env, env.runtime->partition_by_name("r")->id,
+                         MapPolicy::RoundRobin);
+                     Stream st({4096, 2, BalancePolicy::None});
+                     st.open_map(env, m, "w");
+                     std::vector<std::byte> block(4096);
+                     for (int b = 0; b < 7; ++b) {
+                       fill_block(block, env.universe_rank, b);
+                       st.write(block.data(), 1);
+                     }
+                     st.close();
+                   }});
+  progs.push_back({"r", 1, [&](ProcEnv& env) {
+                     Map m;
+                     m.map_partitions(
+                         env, env.runtime->partition_by_name("w")->id,
+                         MapPolicy::RoundRobin);
+                     Stream st({4096, 2, BalancePolicy::RoundRobin});
+                     st.open_map(env, m, "r");
+                     std::vector<std::byte> block(4096);
+                     while (st.read(block.data(), 1) == 1) {
+                       EXPECT_TRUE(check_block(block));
+                       got.fetch_add(1);
+                     }
+                   }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  rt.run();
+  EXPECT_EQ(got.load(), 14);
+}
+
+TEST(VmpiStream, NonblockingReadReturnsEagainBeforeData) {
+  // Reader opens and immediately polls; the writer holds back until the
+  // reader has observed at least one EAGAIN.
+  std::atomic<bool> saw_eagain{false};
+  std::vector<ProgramSpec> progs;
+  progs.push_back({"w", 1, [&](ProcEnv& env) {
+                     Stream st({1024, 2, BalancePolicy::None});
+                     st.open_peer(env, 1, "w");
+                     while (!saw_eagain.load()) {
+                     }
+                     std::vector<std::byte> block(1024);
+                     fill_block(block, 0, 0);
+                     st.write(block.data(), 1);
+                     st.close();
+                   }});
+  progs.push_back({"r", 1, [&](ProcEnv& env) {
+                     Stream st({1024, 2, BalancePolicy::None});
+                     st.open_peer(env, 0, "r");
+                     std::vector<std::byte> block(1024);
+                     int ret = st.read(block.data(), 1, kNonblock);
+                     EXPECT_EQ(ret, kEagain);
+                     saw_eagain.store(true);
+                     do {
+                       ret = st.read(block.data(), 1, kNonblock);
+                     } while (ret == kEagain);
+                     EXPECT_EQ(ret, 1);
+                     EXPECT_TRUE(check_block(block));
+                     EXPECT_EQ(st.read(block.data(), 1), 0);
+                   }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  rt.run();
+}
+
+TEST(VmpiStream, BackpressureBoundsWriterProgress) {
+  // With a slow reader and N_A=2 output buffers, a writer of B blocks can
+  // be at most N_A blocks ahead of what the reader consumed. We check the
+  // virtual clocks: the writer's finish time must reflect waiting on the
+  // reader's consumption rate (reader computes 10 ms per block).
+  std::vector<ProgramSpec> progs;
+  progs.push_back({"w", 1, [](ProcEnv& env) {
+                     Stream st({1u << 20, 2, BalancePolicy::None});
+                     st.open_peer(env, 1, "w");
+                     std::vector<std::byte> block(1u << 20);
+                     for (int b = 0; b < 10; ++b) st.write(block.data(), 1);
+                     st.close();
+                   }});
+  progs.push_back({"r", 1, [](ProcEnv& env) {
+                     Stream st({1u << 20, 2, BalancePolicy::None});
+                     st.open_peer(env, 0, "r");
+                     std::vector<std::byte> block(1u << 20);
+                     while (st.read(block.data(), 1) == 1)
+                       mpi::compute(10e-3);  // slow consumer
+                   }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  rt.run();
+  // 10 blocks x 10 ms of consumption dominate; the writer cannot finish in
+  // less than ~(10-N_A) consumption periods.
+  EXPECT_GT(rt.final_clock(0), 60e-3);
+}
+
+TEST(VmpiStream, WriterWithoutEndpointThrows) {
+  std::vector<ProgramSpec> progs;
+  progs.push_back({"w", 1, [](ProcEnv& env) {
+                     Stream st;
+                     Map empty;
+                     EXPECT_THROW(st.open_map(env, empty, "w"),
+                                  std::invalid_argument);
+                   }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  rt.run();
+}
+
+}  // namespace
+}  // namespace esp::vmpi
