@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blackboard.dir/ablation_blackboard.cpp.o"
+  "CMakeFiles/ablation_blackboard.dir/ablation_blackboard.cpp.o.d"
+  "ablation_blackboard"
+  "ablation_blackboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blackboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

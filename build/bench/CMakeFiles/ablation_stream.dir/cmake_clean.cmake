@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stream.dir/ablation_stream.cpp.o"
+  "CMakeFiles/ablation_stream.dir/ablation_stream.cpp.o.d"
+  "ablation_stream"
+  "ablation_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_overhead_nas.dir/fig15_overhead_nas.cpp.o"
+  "CMakeFiles/fig15_overhead_nas.dir/fig15_overhead_nas.cpp.o.d"
+  "fig15_overhead_nas"
+  "fig15_overhead_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_overhead_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_tool_comparison.dir/fig16_tool_comparison.cpp.o"
+  "CMakeFiles/fig16_tool_comparison.dir/fig16_tool_comparison.cpp.o.d"
+  "fig16_tool_comparison"
+  "fig16_tool_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_tool_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

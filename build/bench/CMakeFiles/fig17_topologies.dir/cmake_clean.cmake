@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_topologies.dir/fig17_topologies.cpp.o"
+  "CMakeFiles/fig17_topologies.dir/fig17_topologies.cpp.o.d"
+  "fig17_topologies"
+  "fig17_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_density_maps.dir/fig18_density_maps.cpp.o"
+  "CMakeFiles/fig18_density_maps.dir/fig18_density_maps.cpp.o.d"
+  "fig18_density_maps"
+  "fig18_density_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_density_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_ks.dir/custom_ks.cpp.o"
+  "CMakeFiles/custom_ks.dir/custom_ks.cpp.o.d"
+  "custom_ks"
+  "custom_ks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_ks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

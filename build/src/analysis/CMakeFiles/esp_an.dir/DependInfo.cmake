@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cpp" "src/analysis/CMakeFiles/esp_an.dir/analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/esp_an.dir/analyzer.cpp.o.d"
+  "/root/repo/src/analysis/modules.cpp" "src/analysis/CMakeFiles/esp_an.dir/modules.cpp.o" "gcc" "src/analysis/CMakeFiles/esp_an.dir/modules.cpp.o.d"
+  "/root/repo/src/analysis/modules_ext.cpp" "src/analysis/CMakeFiles/esp_an.dir/modules_ext.cpp.o" "gcc" "src/analysis/CMakeFiles/esp_an.dir/modules_ext.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/esp_an.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/esp_an.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/trace_export.cpp" "src/analysis/CMakeFiles/esp_an.dir/trace_export.cpp.o" "gcc" "src/analysis/CMakeFiles/esp_an.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blackboard/CMakeFiles/esp_bb.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/esp_inst.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/esp_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/esp_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/esp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/esp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

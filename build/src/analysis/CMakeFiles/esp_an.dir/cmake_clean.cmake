@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_an.dir/analyzer.cpp.o"
+  "CMakeFiles/esp_an.dir/analyzer.cpp.o.d"
+  "CMakeFiles/esp_an.dir/modules.cpp.o"
+  "CMakeFiles/esp_an.dir/modules.cpp.o.d"
+  "CMakeFiles/esp_an.dir/modules_ext.cpp.o"
+  "CMakeFiles/esp_an.dir/modules_ext.cpp.o.d"
+  "CMakeFiles/esp_an.dir/report.cpp.o"
+  "CMakeFiles/esp_an.dir/report.cpp.o.d"
+  "CMakeFiles/esp_an.dir/trace_export.cpp.o"
+  "CMakeFiles/esp_an.dir/trace_export.cpp.o.d"
+  "libesp_an.a"
+  "libesp_an.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_an.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

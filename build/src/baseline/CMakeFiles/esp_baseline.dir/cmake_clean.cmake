@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_baseline.dir/baseline_tools.cpp.o"
+  "CMakeFiles/esp_baseline.dir/baseline_tools.cpp.o.d"
+  "libesp_baseline.a"
+  "libesp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libesp_baseline.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_bb.dir/blackboard.cpp.o"
+  "CMakeFiles/esp_bb.dir/blackboard.cpp.o.d"
+  "libesp_bb.a"
+  "libesp_bb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_bb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

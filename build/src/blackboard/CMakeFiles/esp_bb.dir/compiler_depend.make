@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for esp_bb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_common.dir/env.cpp.o"
+  "CMakeFiles/esp_common.dir/env.cpp.o.d"
+  "CMakeFiles/esp_common.dir/io_writers.cpp.o"
+  "CMakeFiles/esp_common.dir/io_writers.cpp.o.d"
+  "CMakeFiles/esp_common.dir/table.cpp.o"
+  "CMakeFiles/esp_common.dir/table.cpp.o.d"
+  "CMakeFiles/esp_common.dir/units.cpp.o"
+  "CMakeFiles/esp_common.dir/units.cpp.o.d"
+  "libesp_common.a"
+  "libesp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

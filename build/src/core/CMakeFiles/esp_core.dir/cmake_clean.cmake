@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_core.dir/session.cpp.o"
+  "CMakeFiles/esp_core.dir/session.cpp.o.d"
+  "libesp_core.a"
+  "libesp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_inst.dir/online_instrument.cpp.o"
+  "CMakeFiles/esp_inst.dir/online_instrument.cpp.o.d"
+  "libesp_inst.a"
+  "libesp_inst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_inst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

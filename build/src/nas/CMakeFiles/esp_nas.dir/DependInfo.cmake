@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nas/workloads.cpp" "src/nas/CMakeFiles/esp_nas.dir/workloads.cpp.o" "gcc" "src/nas/CMakeFiles/esp_nas.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/esp_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/esp_inst.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/esp_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/esp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/esp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_nas.dir/workloads.cpp.o"
+  "CMakeFiles/esp_nas.dir/workloads.cpp.o.d"
+  "libesp_nas.a"
+  "libesp_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_net.dir/machine.cpp.o"
+  "CMakeFiles/esp_net.dir/machine.cpp.o.d"
+  "CMakeFiles/esp_net.dir/simfs.cpp.o"
+  "CMakeFiles/esp_net.dir/simfs.cpp.o.d"
+  "libesp_net.a"
+  "libesp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

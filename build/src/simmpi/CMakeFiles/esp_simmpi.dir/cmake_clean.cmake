@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/esp_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/esp_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/esp_simmpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/esp_simmpi.dir/types.cpp.o"
+  "CMakeFiles/esp_simmpi.dir/types.cpp.o.d"
+  "libesp_simmpi.a"
+  "libesp_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_vmpi.dir/map.cpp.o"
+  "CMakeFiles/esp_vmpi.dir/map.cpp.o.d"
+  "CMakeFiles/esp_vmpi.dir/stream.cpp.o"
+  "CMakeFiles/esp_vmpi.dir/stream.cpp.o.d"
+  "libesp_vmpi.a"
+  "libesp_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blackboard.dir/test_blackboard.cpp.o"
+  "CMakeFiles/test_blackboard.dir/test_blackboard.cpp.o.d"
+  "test_blackboard"
+  "test_blackboard.pdb"
+  "test_blackboard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blackboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

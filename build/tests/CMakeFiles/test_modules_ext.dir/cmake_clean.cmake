@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modules_ext.dir/test_modules_ext.cpp.o"
+  "CMakeFiles/test_modules_ext.dir/test_modules_ext.cpp.o.d"
+  "test_modules_ext"
+  "test_modules_ext.pdb"
+  "test_modules_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modules_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmpi_map.dir/test_vmpi_map.cpp.o"
+  "CMakeFiles/test_vmpi_map.dir/test_vmpi_map.cpp.o.d"
+  "test_vmpi_map"
+  "test_vmpi_map.pdb"
+  "test_vmpi_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmpi_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

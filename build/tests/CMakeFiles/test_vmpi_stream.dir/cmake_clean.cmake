@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmpi_stream.dir/test_vmpi_stream.cpp.o"
+  "CMakeFiles/test_vmpi_stream.dir/test_vmpi_stream.cpp.o.d"
+  "test_vmpi_stream"
+  "test_vmpi_stream.pdb"
+  "test_vmpi_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmpi_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

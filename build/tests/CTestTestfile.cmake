@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_simmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_vmpi_map[1]_include.cmake")
+include("/root/repo/build/tests/test_vmpi_stream[1]_include.cmake")
+include("/root/repo/build/tests/test_blackboard[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_instrument[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_session[1]_include.cmake")
+include("/root/repo/build/tests/test_cmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_modules_ext[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_export[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrency[1]_include.cmake")

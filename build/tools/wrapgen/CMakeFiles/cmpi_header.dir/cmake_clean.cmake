@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "../../generated/esp/cmpi_generated.hpp"
+  "CMakeFiles/cmpi_header"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/cmpi_header.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

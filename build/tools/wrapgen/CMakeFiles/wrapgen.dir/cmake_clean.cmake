@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrapgen.dir/wrapgen.cpp.o"
+  "CMakeFiles/wrapgen.dir/wrapgen.cpp.o.d"
+  "wrapgen"
+  "wrapgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrapgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
