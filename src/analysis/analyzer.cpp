@@ -1,5 +1,6 @@
 #include "analysis/analyzer.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "analysis/modules.hpp"
@@ -40,7 +41,7 @@ struct Reader {
 
 std::vector<std::byte> serialize(const AppResults& a) {
   Writer w;
-  w.put(static_cast<std::uint32_t>(0x45535032));  // blob version tag
+  w.put(static_cast<std::uint32_t>(0x45535033));  // blob version tag
   w.put(a.total_events);
   w.put(a.last_event_time);
   for (const auto& ks : a.per_kind) {
@@ -73,12 +74,24 @@ std::vector<std::byte> serialize(const AppResults& a) {
     w.put(key);
     w.put(t);
   }
+  // Data-loss ledger.
+  w.put(a.loss.blocks_lost);
+  w.put(a.loss.blocks_corrupted);
+  w.put(a.loss.blocks_retried);
+  w.put(a.loss.events_dropped_estimate);
+  w.put(static_cast<std::uint64_t>(a.loss.dead_ranks.size()));
+  for (int r : a.loss.dead_ranks) w.put(static_cast<std::int32_t>(r));
   return std::move(w.out);
+}
+
+void merge_dead_ranks(std::vector<int>& into, int rank) {
+  if (std::find(into.begin(), into.end(), rank) == into.end())
+    into.push_back(rank);
 }
 
 void merge_serialized(AppResults& out, const std::vector<std::byte>& blob) {
   Reader r{blob.data(), blob.data() + blob.size()};
-  if (r.get<std::uint32_t>() != 0x45535032) return;  // unknown blob
+  if (r.get<std::uint32_t>() != 0x45535033) return;  // unknown blob
   out.total_events += r.get<std::uint64_t>();
   out.last_event_time = std::max(out.last_event_time, r.get<double>());
   for (auto& ks : out.per_kind) {
@@ -120,6 +133,14 @@ void merge_serialized(AppResults& out, const std::vector<std::byte>& blob) {
     const auto key = r.get<std::uint64_t>();
     out.waits.pair_wait[key] += r.get<double>();
   }
+  // Data-loss ledger.
+  out.loss.blocks_lost += r.get<std::uint64_t>();
+  out.loss.blocks_corrupted += r.get<std::uint64_t>();
+  out.loss.blocks_retried += r.get<std::uint64_t>();
+  out.loss.events_dropped_estimate += r.get<std::uint64_t>();
+  const auto n_dead = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n_dead; ++i)
+    merge_dead_ranks(out.loss.dead_ranks, r.get<std::int32_t>());
 }
 
 }  // namespace
@@ -171,7 +192,9 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
   for (;;) {
     auto block = Buffer::make(block_size);
     const int r = stream.read(block->data(), 1);
-    if (r == 0) break;
+    // 0 = every writer closed cleanly; kEpipe = no more data can arrive
+    // but >= 1 writer died — either way, analyze what we got.
+    if (r == 0 || r == vmpi::kEpipe) break;
     const auto view = inst::PackView::parse(block->data(), block->size());
     if (view.valid())
       rc.advance(static_cast<double>(view.header->event_count) * per_event);
@@ -179,6 +202,25 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
   }
   board.drain();
   board.stop();
+
+  // Data-loss ledger: fold this rank's per-link stream health into
+  // per-application records (universe rank -> owning partition). Every
+  // lost or corrupt block could have carried a full event pack.
+  std::map<int, LossLedger> local_loss;
+  const std::uint64_t pack_events =
+      inst::pack_capacity(block_size);
+  for (const auto& ps : stream.peer_stats()) {
+    const auto& part = rt.partition_of_world(ps.universe_rank);
+    auto& ledger = local_loss[part.id];
+    ledger.blocks_lost += ps.blocks_lost;
+    ledger.blocks_corrupted += ps.blocks_corrupted;
+    ledger.blocks_retried += ps.blocks_retried;
+    ledger.events_dropped_estimate +=
+        (ps.blocks_lost + ps.blocks_corrupted) * pack_events;
+    if (ps.dead)
+      merge_dead_ranks(ledger.dead_ranks,
+                       ps.universe_rank - part.first_world_rank);
+  }
 
   // Reduce per-application partials onto analyzer rank 0.
   const mpi::Comm& world = env.world;
@@ -194,6 +236,8 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
     density.merge_into(local, lvl.app_id);
     if (cfg.enable_temporal) temporal.merge_into(local, lvl.app_id);
     if (cfg.enable_wait_states) waits.merge_into(local, lvl.app_id);
+    if (auto it = local_loss.find(lvl.app_id); it != local_loss.end())
+      local.loss = it->second;
     for (auto& v : local.density)
       if (v.size() < static_cast<std::size_t>(lvl.size))
         v.resize(static_cast<std::size_t>(lvl.size), 0.0);
@@ -208,16 +252,44 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
     AppResults merged = std::move(local);
     for (int src = 1; src < world.size(); ++src) {
       std::uint64_t n = 0;
-      world.precv(&n, sizeof n, src, kReduceTag);
+      // A dead analyzer rank fails these receives cleanly (kErrPeerDead),
+      // so the reduction degrades to the surviving partials.
+      if (world.precv(&n, sizeof n, src, kReduceTag).error != 0) continue;
       std::vector<std::byte> blob(n);
-      if (n > 0) world.precv(blob.data(), n, src, kReduceTag);
+      if (n > 0 && world.precv(blob.data(), n, src, kReduceTag).error != 0)
+        continue;
       merge_serialized(merged, blob);
     }
     merged_apps[lvl.app_id] = std::move(merged);
   }
 
-  if (arank != 0) return;
-
+  // Session-health reduction: explicit point-to-point (not a collective —
+  // collectives would deadlock on a dead analyzer rank).
+  const auto bstats = board.stats();
+  std::uint64_t health[2] = {bstats.jobs_failed, bstats.ks_quarantined};
+  if (arank != 0) {
+    world.psend(health, sizeof health, 0, kReduceTag + 1);
+    return;
+  }
+  SessionHealth session_health;
+  session_health.jobs_failed = health[0];
+  session_health.ks_quarantined = health[1];
+  for (int src = 1; src < world.size(); ++src) {
+    std::uint64_t h[2] = {0, 0};
+    if (world.precv(h, sizeof h, src, kReduceTag + 1).error != 0) {
+      merge_dead_ranks(session_health.dead_analyzer_ranks, src);
+      continue;
+    }
+    session_health.jobs_failed += h[0];
+    session_health.ks_quarantined += h[1];
+  }
+  // Crashed ranks, from the runtime's authoritative records: every app
+  // rank died (if at all) before its stream drained, so the list is
+  // complete by the time the report is written.
+  for (const auto& d : rt.deaths())
+    merge_dead_ranks(session_health.dead_world_ranks, d.world_rank);
+  std::sort(session_health.dead_world_ranks.begin(),
+            session_health.dead_world_ranks.end());
   // Rank 0 writes the chaptered report and fills the programmatic sink.
   if (!cfg.output_dir.empty()) {
     std::vector<const AppResults*> apps;
@@ -226,12 +298,13 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
       (void)id;
       apps.push_back(&app);
     }
-    write_report(cfg.output_dir, apps);
+    write_report(cfg.output_dir, apps, &session_health);
   }
   if (cfg.results) {
     std::lock_guard lock(cfg.results->mu);
     for (auto& [id, app] : merged_apps)
       cfg.results->apps[id] = std::move(app);
+    cfg.results->health = session_health;
   }
 }
 

@@ -84,6 +84,24 @@ struct WaitStates {
   }
 };
 
+/// What the analyzer *failed* to learn about one application: the
+/// data-loss ledger. Populated from stream framing (sequence gaps, CRC
+/// failures) and the runtime's crash records, and carried through the
+/// rank-0 reduction so the report can state how trustworthy it is.
+struct LossLedger {
+  std::vector<int> dead_ranks;  ///< App ranks that crashed mid-run.
+  std::uint64_t blocks_lost = 0;       ///< Sequence gaps on event streams.
+  std::uint64_t blocks_corrupted = 0;  ///< CRC/framing failures (discarded).
+  std::uint64_t blocks_retried = 0;    ///< Corrupt blocks skipped-and-continued.
+  /// Upper bound on events never analyzed: each lost or corrupt block
+  /// could have carried a full pack.
+  std::uint64_t events_dropped_estimate = 0;
+
+  bool clean() const noexcept {
+    return dead_ranks.empty() && blocks_lost == 0 && blocks_corrupted == 0;
+  }
+};
+
 /// Everything the analyzer learned about one application.
 struct AppResults {
   int app_id = -1;
@@ -104,6 +122,9 @@ struct AppResults {
   TemporalMap temporal;
   WaitStates waits;
 
+  /// What never made it into the numbers above.
+  LossLedger loss;
+
   static std::uint64_t comm_key(std::int32_t src, std::int32_t dst) noexcept {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
            static_cast<std::uint32_t>(dst);
@@ -116,11 +137,26 @@ struct AppResults {
   }
 };
 
+/// Whole-session degradation summary: did the measurement infrastructure
+/// itself take damage, and is the report to be trusted?
+struct SessionHealth {
+  std::uint64_t jobs_failed = 0;     ///< Blackboard operations that threw.
+  std::uint64_t ks_quarantined = 0;  ///< Knowledge sources removed for it.
+  std::vector<int> dead_world_ranks;     ///< Every crashed rank (world ids).
+  std::vector<int> dead_analyzer_ranks;  ///< Analyzer partition ranks lost.
+
+  bool degraded() const noexcept {
+    return jobs_failed != 0 || ks_quarantined != 0 ||
+           !dead_world_ranks.empty();
+  }
+};
+
 /// Thread-safe sink filled by analyzer rank 0 after the final reduction;
 /// gives tests and benches programmatic access to the report content.
 struct AnalysisResults {
   std::mutex mu;
   std::map<int, AppResults> apps;  ///< Keyed by app (partition) id.
+  SessionHealth health;
 
   AppResults* find(int app_id) {
     auto it = apps.find(app_id);

@@ -126,18 +126,60 @@ void chapter(std::ofstream& md, const AppResults& app,
        << app_dir_rel << "/density_" << name << ".ppm](" << app_dir_rel
        << "/density_" << name << ".ppm)\n";
   }
+
+  if (!app.loss.clean() || app.loss.blocks_retried != 0) {
+    md << "\n### Data loss\n\n"
+       << "This chapter is incomplete — the measurement infrastructure "
+          "lost data for this application:\n\n";
+    if (!app.loss.dead_ranks.empty()) {
+      md << "- dead ranks:";
+      for (int r : app.loss.dead_ranks) md << ' ' << r;
+      md << '\n';
+    }
+    md << "- stream blocks lost: " << app.loss.blocks_lost << "\n"
+       << "- stream blocks corrupted (CRC): " << app.loss.blocks_corrupted
+       << "\n"
+       << "- corrupt blocks retried/skipped: " << app.loss.blocks_retried
+       << "\n"
+       << "- events dropped (upper bound): "
+       << app.loss.events_dropped_estimate << "\n";
+  }
 }
 
 }  // namespace
 
 bool write_report(const std::string& output_dir,
-                  const std::vector<const AppResults*>& apps) {
+                  const std::vector<const AppResults*>& apps,
+                  const SessionHealth* health) {
   if (!ensure_directory(output_dir)) return false;
   std::ofstream md(output_dir + "/report.md");
   if (!md) return false;
   md << "# esperf online profiling report\n\n"
      << "Generated by the distributed analysis engine; one chapter per "
         "instrumented application.\n";
+
+  if (health != nullptr) {
+    std::size_t lossy_apps = 0;
+    for (const AppResults* app : apps)
+      if (!app->loss.clean()) ++lossy_apps;
+    md << "\n## Session health\n\n"
+       << "- status: "
+       << (health->degraded() || lossy_apps > 0 ? "**DEGRADED**" : "healthy")
+       << "\n"
+       << "- crashed ranks: " << health->dead_world_ranks.size();
+    if (!health->dead_world_ranks.empty()) {
+      md << " (world:";
+      for (int r : health->dead_world_ranks) md << ' ' << r;
+      md << ')';
+    }
+    md << "\n- analyzer ranks lost: " << health->dead_analyzer_ranks.size()
+       << "\n"
+       << "- blackboard jobs failed: " << health->jobs_failed << "\n"
+       << "- knowledge sources quarantined: " << health->ks_quarantined
+       << "\n"
+       << "- applications with data loss: " << lossy_apps << " of "
+       << apps.size() << "\n";
+  }
 
   bool ok = true;
   for (const AppResults* app : apps) {

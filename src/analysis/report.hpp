@@ -21,9 +21,12 @@ using esp::Matrix;
 ///   output_dir/<app>/comm_bytes.ppm    — matrix heat map (Fig. 17a)
 ///   output_dir/<app>/topology.dot      — weighted graph (Fig. 17b-e)
 ///   output_dir/<app>/density_<metric>.{csv,ppm}  — Fig. 18
-/// Returns false when any file could not be written.
+/// Returns false when any file could not be written. When `health` is
+/// given, the report opens with a session-health summary and each chapter
+/// carries its application's data-loss ledger.
 bool write_report(const std::string& output_dir,
-                  const std::vector<const AppResults*>& apps);
+                  const std::vector<const AppResults*>& apps,
+                  const SessionHealth* health = nullptr);
 
 /// Lay a per-rank vector out as a near-square grid (the paper's density
 /// maps render rank space as a 2D raster).

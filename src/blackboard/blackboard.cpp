@@ -7,6 +7,7 @@ namespace esp::bb {
 Blackboard::Blackboard(BlackboardConfig cfg) : cfg_(cfg) {
   if (cfg_.workers <= 0) cfg_.workers = 1;
   if (cfg_.fifo_count <= 0) cfg_.fifo_count = 1;
+  if (cfg_.quarantine_threshold <= 0) cfg_.quarantine_threshold = 1;
   fifos_.reserve(static_cast<std::size_t>(cfg_.fifo_count));
   for (int i = 0; i < cfg_.fifo_count; ++i)
     fifos_.push_back(std::make_unique<Fifo>());
@@ -128,7 +129,23 @@ void Blackboard::worker_loop(int worker_index) {
     if (try_pop_job(job, rng.below(fifos_.size()))) {
       backoff = std::chrono::microseconds{1};
       if (job.ks->alive.load(std::memory_order_acquire)) {
-        job.ks->operation(*this, job.entries);
+        // Exception isolation: a throwing operation must not unwind the
+        // worker thread (std::terminate would take the whole pool down).
+        try {
+          job.ks->operation(*this, job.entries);
+          job.ks->consecutive_failures.store(0, std::memory_order_relaxed);
+        } catch (...) {
+          jobs_failed_.fetch_add(1);
+          const int streak = job.ks->consecutive_failures.fetch_add(
+                                 1, std::memory_order_acq_rel) +
+                             1;
+          // fetch_add makes exactly one worker observe the threshold
+          // crossing, so the KS is quarantined once.
+          if (streak == cfg_.quarantine_threshold) {
+            remove_ks(job.ks->id);
+            ks_quarantined_.fetch_add(1);
+          }
+        }
       }
       jobs_executed_.fetch_add(1);
       if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -165,6 +182,8 @@ BlackboardStats Blackboard::stats() const {
   s.jobs_executed = jobs_executed_.load();
   s.ks_registered = ks_registered_.load();
   s.ks_removed = ks_removed_.load();
+  s.jobs_failed = jobs_failed_.load();
+  s.ks_quarantined = ks_quarantined_.load();
   return s;
 }
 

@@ -35,6 +35,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <stdexcept>
 #include <thread>
 #include <chrono>
 #include <span>
@@ -78,8 +79,14 @@ struct DataEntry {
   }
 
   std::uint64_t size() const noexcept { return payload ? payload->size() : 0; }
+  /// Typed view of the payload. A truncated or missing payload (e.g. a
+  /// corrupt entry that slipped past transport checks) fails loudly here
+  /// instead of reading out of bounds.
   template <typename T>
   const T& as() const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!payload || payload->size() < sizeof(T))
+      throw std::length_error("DataEntry::as<T>: payload smaller than T");
     return *reinterpret_cast<const T*>(payload->data());
   }
 };
@@ -105,6 +112,10 @@ struct BlackboardConfig {
   int fifo_count = 16;  ///< Width of the job FIFO array.
   /// Back-off cap for idle workers.
   std::chrono::microseconds max_backoff{2000};
+  /// A KS whose operation throws this many times *consecutively* is
+  /// quarantined (removed) so one broken analysis module cannot starve
+  /// the pool; a single success resets the streak.
+  int quarantine_threshold = 3;
 };
 
 struct BlackboardStats {
@@ -112,6 +123,8 @@ struct BlackboardStats {
   std::uint64_t jobs_executed = 0;
   std::uint64_t ks_registered = 0;
   std::uint64_t ks_removed = 0;
+  std::uint64_t jobs_failed = 0;     ///< Operations that threw.
+  std::uint64_t ks_quarantined = 0;  ///< KSs removed for repeated failure.
 };
 
 /// The engine. Workers start in the constructor and stop in the destructor
@@ -152,6 +165,7 @@ class Blackboard {
     std::vector<TypeId> sensitivities;
     Operation operation;
     std::atomic<bool> alive{true};
+    std::atomic<int> consecutive_failures{0};
 
     /// Pending entries per type + needed multiplicity per type.
     std::mutex mu;
@@ -200,6 +214,8 @@ class Blackboard {
   std::atomic<std::uint64_t> jobs_executed_{0};
   std::atomic<std::uint64_t> ks_registered_{0};
   std::atomic<std::uint64_t> ks_removed_{0};
+  std::atomic<std::uint64_t> jobs_failed_{0};
+  std::atomic<std::uint64_t> ks_quarantined_{0};
 };
 
 }  // namespace esp::bb

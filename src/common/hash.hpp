@@ -6,6 +6,8 @@
 /// "<level>:<type-name>" (see the multi-level blackboard in the paper,
 /// Section III-B), so the hash must be stable across runs and platforms.
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -32,6 +34,33 @@ constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return x ^ (x >> 31);
+}
+
+namespace detail {
+/// CRC-32 (IEEE 802.3, reflected) lookup table, generated at compile time.
+constexpr std::array<std::uint32_t, 256> make_crc32_table() noexcept {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// CRC-32 over a byte range; `seed` chains partial computations (pass the
+/// previous return value to continue). Stream blocks are checksummed with
+/// this so in-flight corruption is detected at the read endpoint.
+inline std::uint32_t crc32(const void* data, std::size_t size,
+                           std::uint32_t seed = 0) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i)
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
 }
 
 }  // namespace esp

@@ -39,9 +39,41 @@ std::shared_ptr<an::AnalysisResults> Session::run() {
 
   mpi::RuntimeConfig rcfg = cfg_.runtime;
   rcfg.machine = cfg_.machine;
+  if (!cfg_.faults.empty()) rcfg.faults = cfg_.faults;
   runtime_ = std::make_unique<mpi::Runtime>(rcfg, std::move(progs));
   tool_ = inst::attach_online_instrumentation(*runtime_, cfg_.instrument);
   runtime_->run();
+
+  // Overlay the runtime's authoritative crash records: streams only see
+  // deaths that break a link, while the runtime saw every one (including
+  // ranks that died before opening their stream, and analyzer ranks).
+  const auto deaths = runtime_->deaths();
+  if (!deaths.empty()) {
+    std::lock_guard lock(results->mu);
+    const int analyzer_pid =
+        static_cast<int>(runtime_->partitions().size()) - 1;
+    for (const auto& d : deaths) {
+      auto& dw = results->health.dead_world_ranks;
+      if (std::find(dw.begin(), dw.end(), d.world_rank) == dw.end())
+        dw.push_back(d.world_rank);
+      const auto& part = runtime_->partition_of_world(d.world_rank);
+      const int prank = d.world_rank - part.first_world_rank;
+      if (part.id == analyzer_pid) {
+        auto& v = results->health.dead_analyzer_ranks;
+        if (std::find(v.begin(), v.end(), prank) == v.end())
+          v.push_back(prank);
+        continue;
+      }
+      auto it = results->apps.find(part.id);
+      if (it != results->apps.end()) {
+        auto& v = it->second.loss.dead_ranks;
+        if (std::find(v.begin(), v.end(), prank) == v.end())
+          v.push_back(prank);
+      }
+    }
+    std::sort(results->health.dead_world_ranks.begin(),
+              results->health.dead_world_ranks.end());
+  }
   return results;
 }
 

@@ -35,6 +35,10 @@ struct SessionConfig {
   inst::InstrumentConfig instrument;
   an::AnalyzerConfig analyzer;
   mpi::RuntimeConfig runtime;
+  /// Deterministic fault schedule for the whole job (crashes, link drops,
+  /// corruption); run() completes and the results carry a data-loss
+  /// ledger under any plan. Seeded by `runtime.seed`.
+  net::FaultPlan faults;
 };
 
 /// One-stop profiling session. Not reusable: build, add, run once.

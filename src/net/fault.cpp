@@ -1,0 +1,98 @@
+#include "net/fault.hpp"
+
+#include "common/hash.hpp"
+
+namespace esp::net {
+
+namespace {
+
+/// Uniform [0,1) from a hashed tuple; one `salt` per decision kind so the
+/// drop/corrupt/delay verdicts of a single message are independent.
+double hash01(std::uint64_t seed, int src, int dst, int tag,
+              std::uint64_t seq, std::uint64_t salt) {
+  std::uint64_t h = hash_combine(seed, mix64(salt));
+  h = hash_combine(h, mix64(static_cast<std::uint64_t>(src) + 1));
+  h = hash_combine(h, mix64(static_cast<std::uint64_t>(dst) + 1));
+  h = hash_combine(h, mix64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag))));
+  h = hash_combine(h, mix64(seq));
+  // 53 mantissa bits of the final mix.
+  return static_cast<double>(mix64(h) >> 11) * 0x1.0p-53;
+}
+
+bool link_matches(const FaultPlan::LinkFault& f, int src, int dst) noexcept {
+  return (f.src_world == kAnyRank || f.src_world == src) &&
+         (f.dst_world == kAnyRank || f.dst_world == dst);
+}
+
+}  // namespace
+
+void FaultInjector::configure(const FaultPlan& plan, std::uint64_t seed) {
+  plan_ = plan;
+  seed_ = hash_combine(mix64(seed), fnv1a("esp.fault"));
+  enabled_ = !plan_.empty();
+}
+
+FaultInjector::Decision FaultInjector::on_message(int src_world, int dst_world,
+                                                  int tag, std::uint64_t seq,
+                                                  std::uint64_t bytes) const {
+  Decision d;
+  if (!enabled_ || plan_.links.empty()) return d;
+  if (plan_.scope == FaultScope::StreamsOnly && !is_stream_data_tag(tag))
+    return d;
+  for (std::size_t i = 0; i < plan_.links.size(); ++i) {
+    const auto& f = plan_.links[i];
+    if (!link_matches(f, src_world, dst_world)) continue;
+    const std::uint64_t salt = i * 4;
+    if (f.drop_probability > 0.0 &&
+        hash01(seed_, src_world, dst_world, tag, seq, salt) <
+            f.drop_probability) {
+      d.drop = true;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return d;  // a dropped message cannot also be delayed/corrupted
+    }
+    if (f.corrupt_probability > 0.0 && bytes > 0 && d.corrupt_bit < 0 &&
+        hash01(seed_, src_world, dst_world, tag, seq, salt + 1) <
+            f.corrupt_probability) {
+      const std::uint64_t bit =
+          mix64(hash_combine(seed_, hash01(seed_, src_world, dst_world, tag,
+                                           seq, salt + 2) *
+                                        0x1p63)) %
+          (bytes * 8);
+      d.corrupt_bit = static_cast<std::int64_t>(bit);
+      corrupted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (f.delay_probability > 0.0 && f.delay_seconds > 0.0 &&
+        hash01(seed_, src_world, dst_world, tag, seq, salt + 3) <
+            f.delay_probability) {
+      d.delay += f.delay_seconds;
+      delayed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return d;
+}
+
+double FaultInjector::crash_time(int world_rank) const noexcept {
+  double t = std::numeric_limits<double>::infinity();
+  if (!enabled_) return t;
+  for (const auto& c : plan_.crashes)
+    if (c.world_rank == world_rank && c.at_time < t) t = c.at_time;
+  return t;
+}
+
+std::uint64_t FaultInjector::crash_after_calls(int world_rank) const noexcept {
+  std::uint64_t n = std::numeric_limits<std::uint64_t>::max();
+  if (!enabled_) return n;
+  for (const auto& c : plan_.crashes)
+    if (c.world_rank == world_rank && c.after_calls < n) n = c.after_calls;
+  return n;
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats s;
+  s.messages_dropped = dropped_.load(std::memory_order_relaxed);
+  s.messages_corrupted = corrupted_.load(std::memory_order_relaxed);
+  s.messages_delayed = delayed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace esp::net

@@ -1,0 +1,123 @@
+#pragma once
+/// \file fault.hpp
+/// \brief Deterministic fault injection for the simulated machine/runtime.
+///
+/// Online coupling removes the file-system safety net: when a producer
+/// rank dies mid-run or a link flips a bit, the consumer must degrade
+/// gracefully instead of hanging or silently mis-reporting. This header
+/// defines the *schedule* of such failures — a `FaultPlan` the runtime
+/// executes deterministically — and the `FaultInjector` that turns the
+/// plan into per-message / per-rank decisions.
+///
+/// Determinism contract: every per-message decision is a pure hash of
+/// (seed, src, dst, tag, sender sequence number), and rank crashes fire
+/// either at a virtual time or after an exact per-rank call count. The
+/// same seed therefore reproduces the identical fault schedule — and the
+/// identical data-loss ledger — on every run, regardless of thread
+/// interleaving.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace esp::net {
+
+/// Wildcard world rank for link-fault endpoints.
+inline constexpr int kAnyRank = -1;
+
+/// VMPI stream data traffic rides a reserved tag range (see
+/// src/vmpi/stream.cpp); the injector's default scope targets only it so
+/// a fault plan cannot deadlock internal collectives by accident.
+inline constexpr int kStreamDataTagBase = 0x6f200000;
+inline constexpr int kStreamDataTagEnd = 0x6f2fffff;
+
+constexpr bool is_stream_data_tag(int tag) noexcept {
+  return tag >= kStreamDataTagBase && tag <= kStreamDataTagEnd;
+}
+
+/// Which traffic link faults (drop/delay/corrupt) may touch. Rank crashes
+/// always apply — a dead process takes all of its traffic with it.
+enum class FaultScope {
+  StreamsOnly,  ///< Only VMPI stream data blocks (default).
+  AllTraffic,   ///< Every point-to-point message, collectives included.
+};
+
+/// The declarative failure schedule, reproducible from its seed.
+struct FaultPlan {
+  /// Kill one rank: at the first instrumentable call once its virtual
+  /// clock reaches `at_time`, or after exactly `after_calls` p-layer
+  /// calls (deterministic across runs), whichever comes first.
+  struct RankCrash {
+    int world_rank = -1;
+    double at_time = std::numeric_limits<double>::infinity();
+    std::uint64_t after_calls = std::numeric_limits<std::uint64_t>::max();
+  };
+
+  /// Per-link message faults; `kAnyRank` endpoints are wildcards.
+  /// Probabilities are evaluated independently per message via a seeded
+  /// hash, so they commute and reproduce exactly.
+  struct LinkFault {
+    int src_world = kAnyRank;
+    int dst_world = kAnyRank;
+    double drop_probability = 0.0;     ///< Message silently vanishes.
+    double corrupt_probability = 0.0;  ///< One payload bit is flipped.
+    double delay_probability = 0.0;    ///< Departure delayed by delay_seconds.
+    double delay_seconds = 0.0;
+  };
+
+  FaultScope scope = FaultScope::StreamsOnly;
+  std::vector<RankCrash> crashes;
+  std::vector<LinkFault> links;
+
+  bool empty() const noexcept { return crashes.empty() && links.empty(); }
+};
+
+/// Aggregate injection counters (diagnostics; read after run()).
+struct FaultStats {
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_corrupted = 0;
+  std::uint64_t messages_delayed = 0;
+};
+
+/// Executes a FaultPlan: answers "what happens to this message?" and
+/// "when does this rank die?" purely from hashed plan state.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  void configure(const FaultPlan& plan, std::uint64_t seed);
+
+  bool enabled() const noexcept { return enabled_; }
+  bool has_link_faults() const noexcept { return enabled_ && !plan_.links.empty(); }
+
+  /// Outcome for one message; fields combine (a delayed message may also
+  /// be corrupted; a dropped one never arrives at all).
+  struct Decision {
+    bool drop = false;
+    double delay = 0.0;
+    std::int64_t corrupt_bit = -1;  ///< Bit index into the payload, or -1.
+  };
+
+  /// Deterministic per-message verdict. `seq` is the sender-side sequence
+  /// number, which is program-ordered and thus stable across runs.
+  Decision on_message(int src_world, int dst_world, int tag,
+                      std::uint64_t seq, std::uint64_t bytes) const;
+
+  /// Virtual-time crash deadline for a rank (+inf when it never crashes).
+  double crash_time(int world_rank) const noexcept;
+  /// Call-count crash deadline for a rank (UINT64_MAX when none).
+  std::uint64_t crash_after_calls(int world_rank) const noexcept;
+
+  FaultStats stats() const;
+
+ private:
+  bool enabled_ = false;
+  FaultPlan plan_;
+  std::uint64_t seed_ = 0;
+  mutable std::atomic<std::uint64_t> dropped_{0};
+  mutable std::atomic<std::uint64_t> corrupted_{0};
+  mutable std::atomic<std::uint64_t> delayed_{0};
+};
+
+}  // namespace esp::net

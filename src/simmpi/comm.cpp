@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "net/fault.hpp"
 #include "simmpi/runtime.hpp"
 
 #include "common/hash.hpp"
@@ -29,6 +30,16 @@ void complete_match(Runtime& rt, detail::SendItem& s, detail::RecvItem& r) {
   if (physical != 0) {
     const std::byte* src = s.eager_mode ? s.eager->data() : s.src_buf;
     std::memcpy(r.dst_buf, src, physical);
+    if (s.corrupt_bit >= 0) {
+      // Injected in-flight corruption: flip one bit of the delivered copy
+      // (never the sender's buffer). Only bits inside the physically
+      // copied region can flip — consistent with CRC verification, which
+      // is likewise gated on the copy cap covering the whole block.
+      const auto byte_i = static_cast<std::uint64_t>(s.corrupt_bit) / 8;
+      if (byte_i < physical)
+        r.dst_buf[byte_i] ^=
+            static_cast<std::byte>(1u << (s.corrupt_bit % 8));
+    }
   }
   const double t0 = std::max(s.t_ready, r.t_ready);
   const double finish = rt.machine().transfer(
@@ -48,6 +59,7 @@ Request isend_impl(Runtime& rt, RankContext& rc,
                    const std::shared_ptr<const CommData>& cd,
                    std::uint64_t ctx, const void* buf, std::uint64_t bytes,
                    int dst_world, int tag) {
+  rc.check_crash();
   rc.advance(rt.config().call_overhead);
   auto item = std::make_shared<detail::SendItem>();
   item->src_world = rc.world_rank;
@@ -56,6 +68,11 @@ Request isend_impl(Runtime& rt, RankContext& rc,
   item->tag = tag;
   item->bytes = bytes;
   item->seq = rc.send_seq++;
+
+  net::FaultInjector::Decision fault;
+  if (rt.injector().has_link_faults())
+    fault = rt.injector().on_message(rc.world_rank, dst_world, tag, item->seq,
+                                     bytes);
 
   auto req = std::make_shared<RequestState>();
   req->kind = CallKind::Isend;
@@ -84,6 +101,23 @@ Request isend_impl(Runtime& rt, RankContext& rc,
     item->req = req;
   }
 
+  if (fault.drop) {
+    // The network ate the message. The sender still observes success —
+    // an eager send already completed at staging, and a rendezvous
+    // sender is released at its departure time. Nothing is posted, so
+    // the receiver sees a sequence gap (or, for streams, a lost block).
+    if (!eager) {
+      Status st;
+      st.source = rc.world_rank;
+      st.tag = tag;
+      st.bytes = bytes;
+      req->complete(item->t_ready, st);
+    }
+    return req;
+  }
+  item->t_ready += fault.delay;
+  item->corrupt_bit = fault.corrupt_bit;
+
   if (auto r = rt.mailbox(dst_world).post_send(item)) {
     complete_match(rt, *item, *r);
   }
@@ -94,6 +128,7 @@ Request irecv_impl(Runtime& rt, RankContext& rc,
                    const std::shared_ptr<const CommData>& cd,
                    std::uint64_t ctx, void* buf, std::uint64_t bytes,
                    int src_world, int tag) {
+  rc.check_crash();
   rc.advance(rt.config().call_overhead);
   auto item = std::make_shared<detail::RecvItem>();
   item->dst_buf = static_cast<std::byte*>(buf);
@@ -706,10 +741,15 @@ bool test(Request& r, Status* st) {
   return done;
 }
 
-void compute(double seconds) { Runtime::self().advance(seconds); }
+void compute(double seconds) {
+  auto& rc = Runtime::self();
+  rc.check_crash();
+  rc.advance(seconds);
+}
 
 void compute_flops(double flops) {
   auto& rc = Runtime::self();
+  rc.check_crash();
   rc.advance(rc.rt->machine().compute_seconds(flops));
 }
 

@@ -9,10 +9,13 @@
 /// Matching preserves MPI ordering: queues are scanned front-to-back, and
 /// items from one sender arrive in program order.
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <unordered_set>
+#include <vector>
 
 #include "common/buffer.hpp"
 #include "simmpi/request.hpp"
@@ -32,6 +35,8 @@ struct SendItem {
   bool eager_mode = false;
   double t_ready = 0.0;   ///< Virtual time the message leaves the sender.
   std::uint64_t seq = 0;  ///< Sender-side sequence, diagnostic.
+  /// Fault injection: payload bit index to flip at delivery, or -1.
+  std::int64_t corrupt_bit = -1;
   /// Sender completion (rendezvous isend/send); null when eager-complete.
   Request req;
 };
@@ -57,31 +62,101 @@ inline bool matches(const SendItem& s, const RecvItem& r) noexcept {
 class Mailbox {
  public:
   /// Post a send; if a posted receive matches, returns it (removed).
+  /// When the owning rank has crashed, the send is refused: a rendezvous
+  /// sender is completed with kErrPeerDead (eager sends were already
+  /// locally complete) and nothing is queued — otherwise writers block
+  /// forever on a receiver that will never post again.
   std::shared_ptr<RecvItem> post_send(std::shared_ptr<SendItem> s) {
-    std::lock_guard lock(mu_);
-    for (auto it = recvs_.begin(); it != recvs_.end(); ++it) {
-      if (matches(*s, **it)) {
-        auto r = *it;
-        recvs_.erase(it);
-        return r;
+    {
+      std::lock_guard lock(mu_);
+      if (!dead_) {
+        for (auto it = recvs_.begin(); it != recvs_.end(); ++it) {
+          if (matches(*s, **it)) {
+            auto r = *it;
+            recvs_.erase(it);
+            return r;
+          }
+        }
+        sends_.push_back(std::move(s));
+        return nullptr;
       }
     }
-    sends_.push_back(std::move(s));
+    if (s->req) {
+      Status st;
+      st.source = s->src_world;
+      st.tag = s->tag;
+      st.error = kErrPeerDead;
+      s->req->complete(s->t_ready, st);
+    }
     return nullptr;
   }
 
   /// Post a receive; if a queued send matches, returns it (removed).
+  /// A specific-source receive from a rank already known dead (and with
+  /// no matching in-flight send) is failed immediately with kErrPeerDead
+  /// instead of being queued, so readers never wait on a ghost.
   std::shared_ptr<SendItem> post_recv(std::shared_ptr<RecvItem> r) {
-    std::lock_guard lock(mu_);
-    for (auto it = sends_.begin(); it != sends_.end(); ++it) {
-      if (matches(**it, *r)) {
-        auto s = *it;
-        sends_.erase(it);
-        return s;
+    {
+      std::lock_guard lock(mu_);
+      for (auto it = sends_.begin(); it != sends_.end(); ++it) {
+        if (matches(**it, *r)) {
+          auto s = *it;
+          sends_.erase(it);
+          return s;
+        }
+      }
+      if (r->src_world == kAnySource || !dead_srcs_.contains(r->src_world)) {
+        recvs_.push_back(std::move(r));
+        return nullptr;
       }
     }
-    recvs_.push_back(std::move(r));
+    fail_recv(*r, r->t_ready);
     return nullptr;
+  }
+
+  /// Crash sweep, receiver side: `src_world` died at virtual time `t`.
+  /// Every posted specific-source receive on it is completed with
+  /// kErrPeerDead, and future such receives fail fast (see post_recv).
+  /// Wildcard receives are left armed — a live sender may still match.
+  void fail_source(int src_world, double t) {
+    std::vector<std::shared_ptr<RecvItem>> failed;
+    {
+      std::lock_guard lock(mu_);
+      dead_srcs_.insert(src_world);
+      for (auto it = recvs_.begin(); it != recvs_.end();) {
+        if ((*it)->src_world == src_world) {
+          failed.push_back(*it);
+          it = recvs_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& r : failed) fail_recv(*r, std::max(t, r->t_ready));
+  }
+
+  /// Crash sweep, owner side: the rank owning this mailbox died at `t`.
+  /// Queued rendezvous senders are released with kErrPeerDead; queued
+  /// state is discarded so no later sender can match a receive whose
+  /// buffer lives in the dead rank's unwound stack.
+  void kill_destination(double t) {
+    std::deque<std::shared_ptr<SendItem>> sends;
+    std::deque<std::shared_ptr<RecvItem>> recvs;
+    {
+      std::lock_guard lock(mu_);
+      dead_ = true;
+      sends.swap(sends_);
+      recvs.swap(recvs_);
+    }
+    for (auto& s : sends) {
+      if (!s->req) continue;
+      Status st;
+      st.source = s->src_world;
+      st.tag = s->tag;
+      st.error = kErrPeerDead;
+      s->req->complete(std::max(t, s->t_ready), st);
+    }
+    for (auto& r : recvs) fail_recv(*r, std::max(t, r->t_ready));
   }
 
   /// Non-destructive probe for a matching queued send.
@@ -113,9 +188,19 @@ class Mailbox {
   }
 
  private:
+  static void fail_recv(RecvItem& r, double t) {
+    Status st;
+    st.source = r.src_world;
+    st.tag = r.tag;
+    st.error = kErrPeerDead;
+    r.req->complete(t, st);
+  }
+
   std::mutex mu_;
   std::deque<std::shared_ptr<SendItem>> sends_;
   std::deque<std::shared_ptr<RecvItem>> recvs_;
+  std::unordered_set<int> dead_srcs_;
+  bool dead_ = false;
 };
 
 }  // namespace esp::mpi::detail

@@ -2,6 +2,7 @@
 /// \file request.hpp
 /// \brief Nonblocking-operation handles.
 
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -36,6 +37,13 @@ struct WaitSet {
   void wait_change(std::uint64_t seen) {
     std::unique_lock lock(mu);
     cv.wait(lock, [&] { return ticket != seen; });
+  }
+  /// Like wait_change() but gives up after `timeout` (real time). Returns
+  /// false on timeout — used by readers that must periodically re-check
+  /// whether a silently-dead writer will ever notify them.
+  bool wait_change_for(std::uint64_t seen, std::chrono::nanoseconds timeout) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, timeout, [&] { return ticket != seen; });
   }
 };
 

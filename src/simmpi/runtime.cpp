@@ -54,6 +54,16 @@ Runtime::Runtime(RuntimeConfig cfg, std::vector<ProgramSpec> programs)
     mailboxes_.push_back(std::make_unique<detail::Mailbox>());
   final_clock_.assign(static_cast<std::size_t>(world_size_), 0.0);
 
+  injector_.configure(cfg_.faults, cfg_.seed);
+  rank_dead_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(world_size_));
+  rank_done_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r) {
+    rank_dead_[static_cast<std::size_t>(r)].store(false);
+    rank_done_[static_cast<std::size_t>(r)].store(false);
+  }
+
   std::vector<int> all(static_cast<std::size_t>(world_size_));
   for (int r = 0; r < world_size_; ++r) all[static_cast<std::size_t>(r)] = r;
   universe_data_ = CommData::make(this, kUniverseCtx, all);
@@ -97,6 +107,30 @@ double Runtime::max_walltime() const {
   return w;
 }
 
+std::vector<RankDeath> Runtime::deaths() const {
+  std::lock_guard lock(deaths_mu_);
+  return deaths_;
+}
+
+void Runtime::on_rank_crashed(const RankContext& rc, std::uint64_t calls) {
+  {
+    std::lock_guard lock(deaths_mu_);
+    deaths_.push_back(RankDeath{rc.world_rank, rc.clock, calls});
+  }
+  rank_dead_[static_cast<std::size_t>(rc.world_rank)].store(
+      true, std::memory_order_release);
+  // Release everyone the dead rank could still block: receivers waiting on
+  // it (specific-source recvs in *their* mailboxes) and senders queued or
+  // about to queue into *its* mailbox.
+  for (int r = 0; r < world_size_; ++r) {
+    if (r == rc.world_rank) continue;
+    mailboxes_[static_cast<std::size_t>(r)]->fail_source(rc.world_rank,
+                                                         rc.clock);
+  }
+  mailboxes_[static_cast<std::size_t>(rc.world_rank)]->kill_destination(
+      rc.clock);
+}
+
 void Runtime::dispatch_tools(RankContext& rc, const CallInfo& ci) {
   if (tools_.empty()) return;
   tools_.for_partition(rc.partition_id,
@@ -127,6 +161,8 @@ void Runtime::rank_main(int world_rank) {
   rc.partition_rank = world_rank - part.first_world_rank;
   rc.rng.reseed(hash_combine(cfg_.seed, mix64(static_cast<std::uint64_t>(
                                  world_rank + 1))));
+  rc.crash_at = injector_.crash_time(world_rank);
+  rc.crash_after_calls = injector_.crash_after_calls(world_rank);
   g_self = &rc;
 
   ProcEnv env;
@@ -141,12 +177,18 @@ void Runtime::rank_main(int world_rank) {
     tools_.for_partition(part.id, [&](Tool& t) { t.on_init(rc); });
     programs_[static_cast<std::size_t>(part.id)].main(env);
     tools_.for_partition(part.id, [&](Tool& t) { t.on_finalize(rc); });
+  } catch (const RankCrashedError&) {
+    // A simulated death is an *expected* outcome, not a session error:
+    // sweep the mailboxes so nobody waits on this rank forever.
+    on_rank_crashed(rc, rc.calls_made);
   } catch (...) {
     std::lock_guard lock(error_mu_);
     if (!first_error_) first_error_ = std::current_exception();
   }
 
   final_clock_[static_cast<std::size_t>(world_rank)] = rc.clock;
+  rank_done_[static_cast<std::size_t>(world_rank)].store(
+      true, std::memory_order_release);
   g_self = nullptr;
 }
 

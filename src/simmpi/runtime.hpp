@@ -14,6 +14,7 @@
 #include <mutex>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/fault.hpp"
 #include "net/machine.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/mailbox.hpp"
@@ -41,6 +43,21 @@ struct PartitionDesc {
   }
 };
 
+/// Thrown inside a rank thread when its FaultPlan crash point fires.
+/// Deliberately *not* derived from std::exception: program code that
+/// catches std::exception must not be able to swallow a simulated death.
+struct RankCrashedError {
+  int world_rank = -1;
+  double time = 0.0;
+};
+
+/// Post-run record of one simulated rank death.
+struct RankDeath {
+  int world_rank = -1;
+  double time = 0.0;           ///< Virtual clock at the crash point.
+  std::uint64_t calls = 0;     ///< p-layer calls the rank made before dying.
+};
+
 /// Per-rank execution context (one per thread).
 struct RankContext {
   Runtime* rt = nullptr;
@@ -53,7 +70,24 @@ struct RankContext {
   /// Per-parent-communicator split counters for deterministic context ids.
   std::unordered_map<std::uint64_t, std::uint64_t> split_counters;
 
+  // ---- fault injection (configured by rank_main from the FaultPlan) ----
+  double crash_at = std::numeric_limits<double>::infinity();
+  std::uint64_t crash_after_calls = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t calls_made = 0;
+  bool crashed = false;  ///< Set once; guards cleanup paths during unwind.
+
   void advance(double dt) noexcept { clock += dt; }
+
+  /// Crash checkpoint, invoked at every p-layer call entry. Counts the
+  /// call and throws RankCrashedError exactly once when either trigger
+  /// (virtual-time deadline or call budget) has been reached.
+  void check_crash() {
+    ++calls_made;
+    if (!crashed && (clock >= crash_at || calls_made > crash_after_calls)) {
+      crashed = true;
+      throw RankCrashedError{world_rank, clock};
+    }
+  }
 };
 
 /// What a program's main receives on each of its ranks.
@@ -89,6 +123,9 @@ struct RuntimeConfig {
   /// streams stay intact as long as the cap >= the stream block size.
   std::uint64_t payload_copy_cap = ~0ull;
   std::uint64_t seed = 42;
+  /// Deterministic fault schedule (empty = fault-free run). Decisions are
+  /// derived from `seed`, so seed + plan reproduce identical failures.
+  net::FaultPlan faults;
 };
 
 class Runtime {
@@ -127,6 +164,9 @@ class Runtime {
   /// Virtual walltime of a partition = max final clock over its ranks.
   double partition_walltime(int partition_id) const;
   double max_walltime() const;
+  /// Ranks that crashed under the fault plan, in death order (post-run,
+  /// but safe to call concurrently while ranks are still running).
+  std::vector<RankDeath> deaths() const;
 
   // ---- services used by Comm / tools ----------------------------------
   net::Machine& machine() noexcept { return machine_; }
@@ -139,6 +179,23 @@ class Runtime {
   /// Allocate a fresh context id (used by split/dup).
   std::uint64_t next_ctx_component() noexcept { return ctx_counter_.fetch_add(1); }
   void dispatch_tools(RankContext& rc, const CallInfo& ci);
+
+  // ---- fault services --------------------------------------------------
+  const net::FaultInjector& injector() const noexcept { return injector_; }
+  /// True once `world_rank` crashed under the fault plan.
+  bool rank_dead(int world_rank) const noexcept {
+    return rank_dead_[static_cast<std::size_t>(world_rank)].load(
+        std::memory_order_acquire);
+  }
+  /// True once `world_rank`'s thread left its program (normally or by
+  /// crash) — after this it will never send another message.
+  bool rank_finished(int world_rank) const noexcept {
+    return rank_done_[static_cast<std::size_t>(world_rank)].load(
+        std::memory_order_acquire);
+  }
+  /// Crash sweep: record the death and release every operation that would
+  /// otherwise wait on the dead rank forever.
+  void on_rank_crashed(const RankContext& rc, std::uint64_t calls);
 
   /// The calling thread's rank context. Only valid on rank threads.
   static RankContext& self();
@@ -163,6 +220,12 @@ class Runtime {
   std::mutex error_mu_;
   std::exception_ptr first_error_;
   bool ran_ = false;
+
+  net::FaultInjector injector_;
+  std::unique_ptr<std::atomic<bool>[]> rank_dead_;
+  std::unique_ptr<std::atomic<bool>[]> rank_done_;
+  mutable std::mutex deaths_mu_;
+  std::vector<RankDeath> deaths_;
 };
 
 }  // namespace esp::mpi

@@ -36,11 +36,16 @@ constexpr std::size_t datatype_size(Datatype t) noexcept {
 /// Builtin reduction operators.
 enum class ReduceOp : std::uint8_t { Sum, Min, Max, Prod };
 
+/// Status::error value: the peer rank died before (or while) the matched
+/// operation could complete. `bytes` is 0 and no payload was delivered.
+inline constexpr int kErrPeerDead = 1;
+
 /// Completion information for a receive.
 struct Status {
   int source = kAnySource;  ///< Communicator rank of the sender.
   int tag = kAnyTag;
   std::uint64_t bytes = 0;  ///< Bytes actually delivered.
+  int error = 0;            ///< 0 = success; kErrPeerDead = peer crashed.
 };
 
 /// Every interceptable entry point. Used by the tool chain and by the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/hash.hpp"
+
 namespace esp::vmpi {
 
 namespace {
@@ -80,7 +82,6 @@ void Map::map_partitions(mpi::ProcEnv& env, int remote_partition_id,
 
   std::vector<int> my_slaves;
   if (env.universe_rank == pivot) {
-    auto& rc = mpi::Runtime::self();
     std::vector<std::vector<int>> assignment(
         static_cast<std::size_t>(master.size));
     for (int i = 0; i < slave.size; ++i) {
@@ -91,8 +92,18 @@ void Map::map_partitions(mpi::ProcEnv& env, int remote_partition_id,
       const int slave_index = slave_rank - slave.first_world_rank;
       int target;
       if (policy == MapPolicy::Random) {
-        target = static_cast<int>(
-            rc.rng.below(static_cast<std::uint64_t>(master.size)));
+        // Hash the slave's identity rather than drawing from a sequential
+        // RNG: draws in arrival order would tie the assignment to the
+        // (racy) order slaves reach the pivot, breaking seed
+        // reproducibility.
+        const std::uint64_t h = esp::hash_combine(
+            esp::hash_combine(env.runtime->config().seed,
+                              (static_cast<std::uint64_t>(master.id) << 32) ^
+                                  static_cast<std::uint64_t>(
+                                      static_cast<std::uint32_t>(slave.id))),
+            static_cast<std::uint64_t>(slave_index));
+        target = static_cast<int>(esp::mix64(h) %
+                                  static_cast<std::uint64_t>(master.size));
       } else {
         target = fn(slave_index, master.size);
         if (target < 0 || target >= master.size)

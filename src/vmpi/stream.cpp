@@ -1,14 +1,20 @@
 #include "vmpi/stream.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include "common/hash.hpp"
+#include "net/fault.hpp"
 
 namespace esp::vmpi {
 
 namespace {
 constexpr int kStreamCtlTag = 0x6f100000;
-constexpr int kStreamDataBase = 0x6f200000;
+constexpr int kStreamDataBase = net::kStreamDataTagBase;
 
 /// Handshake payload: the writer announces the data tag and geometry.
 struct StreamCtl {
@@ -17,7 +23,30 @@ struct StreamCtl {
   int n_async = 0;
 };
 
-std::atomic<int> g_stream_tag_counter{0};
+/// On-wire block framing. The CRC covers everything after the crc field
+/// (seq, payload length, payload bytes), so a bit-flip anywhere in the
+/// message is caught either by the magic check or the CRC check. An
+/// end-of-stream marker is a header-only message with payload == 0; its
+/// seq carries the writer's final per-link block count, so blocks dropped
+/// *after* the last delivered one are still counted as lost.
+struct BlockHeader {
+  std::uint32_t magic = 0;
+  std::uint32_t crc = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t payload = 0;
+};
+static_assert(sizeof(BlockHeader) == 24, "BlockHeader must pack to 24 bytes");
+
+constexpr std::uint32_t kBlockMagic = 0x45535042;  // "ESPB"
+constexpr std::size_t kCrcOffset = offsetof(BlockHeader, seq);
+
+std::uint32_t block_crc(const std::byte* msg, std::uint64_t payload) {
+  return crc32(msg + kCrcOffset, sizeof(BlockHeader) - kCrcOffset + payload);
+}
+
+/// Streams opened by this rank thread, for tag allocation. Rank threads
+/// are created per Runtime::run, so the counter starts at zero each run.
+thread_local int t_streams_opened = 0;
 }  // namespace
 
 Stream::Stream(StreamConfig cfg) : cfg_(cfg) {
@@ -26,7 +55,16 @@ Stream::Stream(StreamConfig cfg) : cfg_(cfg) {
 }
 
 Stream::~Stream() {
-  if (open_ && !closed_ && writer_ && mpi::Runtime::on_rank_thread()) close();
+  // Never auto-close from a crashed rank's unwind: close() sends EOF
+  // through the p-layer, and a dead rank must not emit traffic (nor
+  // re-enter check_crash mid-unwind).
+  if (open_ && !closed_ && writer_ && mpi::Runtime::on_rank_thread() &&
+      !mpi::Runtime::self().crashed)
+    close();
+}
+
+std::uint64_t Stream::frame_bytes() const noexcept {
+  return framed_ ? sizeof(BlockHeader) : 0;
 }
 
 void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
@@ -39,30 +77,56 @@ void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
   if (writer_) {
     peers_ = map.peers();
     if (peers_.empty()) throw std::invalid_argument("writer has no endpoint");
-    data_tag_ = kStreamDataBase + g_stream_tag_counter.fetch_add(1);
+    // Framing needs the whole block + header physically delivered; under
+    // a skeleton payload cap both sides fall back to the raw wire format
+    // (same predicate, same config — the endpoints always agree).
+    framed_ = rt_->config().payload_copy_cap >=
+              cfg_.block_size + sizeof(BlockHeader);
+    // Tag allocation must be a pure function of (rank, open index): a
+    // shared first-come-first-served counter would make the tag — and
+    // with it the fault injector's per-message hash — depend on thread
+    // interleaving. Unique while opens * universe_size fits the tag range.
+    data_tag_ = kStreamDataBase +
+                (t_streams_opened++ * universe_.size() + universe_.rank()) %
+                    (net::kStreamDataTagEnd - net::kStreamDataTagBase + 1);
     StreamCtl ctl{data_tag_, cfg_.block_size, cfg_.n_async};
     for (int peer : peers_)
       universe_.psend(&ctl, sizeof ctl, peer, kStreamCtlTag);
     out_.resize(static_cast<std::size_t>(cfg_.n_async));
-    for (auto& b : out_) b.data = Buffer::make(cfg_.block_size);
+    for (auto& b : out_) b.data = Buffer::make(cfg_.block_size + frame_bytes());
+    out_seq_.assign(peers_.size(), 0);
     return;
   }
 
   // Reader: one handshake per expected incoming stream, then pre-post the
   // N_A receive buffers per peer so arrivals always land in a buffer.
+  bool adopted = false;
   for (int peer : map.peers()) {
     StreamCtl ctl;
-    universe_.precv(&ctl, sizeof ctl, peer, kStreamCtlTag);
-    if (!in_peers_.empty() && ctl.block_size != cfg_.block_size)
+    mpi::Status st = universe_.precv(&ctl, sizeof ctl, peer, kStreamCtlTag);
+    if (st.error != 0) {
+      // Writer died before it could even open: record the link as dead so
+      // it appears in the loss ledger, with nothing posted on it.
+      InPeer ip;
+      ip.universe_rank = peer;
+      in_peers_.push_back(std::move(ip));
+      mark_peer_dead(in_peers_.back());
+      continue;
+    }
+    if (adopted && ctl.block_size != cfg_.block_size)
       throw std::runtime_error("writers disagree on block size");
     cfg_.block_size = ctl.block_size;
+    adopted = true;
+    framed_ = rt_->config().payload_copy_cap >=
+              cfg_.block_size + sizeof(BlockHeader);
     InPeer ip;
     ip.universe_rank = peer;
     ip.tag = ctl.tag;
     ip.slots.resize(static_cast<std::size_t>(cfg_.n_async));
     for (auto& s : ip.slots) {
-      s.data = Buffer::make(cfg_.block_size);
-      s.req = universe_.pirecv(s.data->data(), cfg_.block_size, peer, ip.tag);
+      s.data = Buffer::make(cfg_.block_size + frame_bytes());
+      s.req = universe_.pirecv(s.data->data(),
+                               cfg_.block_size + frame_bytes(), peer, ip.tag);
     }
     in_peers_.push_back(std::move(ip));
   }
@@ -96,13 +160,13 @@ int Stream::acquire_out_buf() {
   for (std::size_t i = 0; i < out_.size(); ++i) {
     if (!out_[i].req) return static_cast<int>(i);
     if (out_[i].req->is_done()) {
-      mpi::pwait(out_[i].req);
+      if (mpi::pwait(out_[i].req).error != 0) ++writes_failed_;
       out_[i].req.reset();
       return static_cast<int>(i);
     }
   }
   const std::size_t oldest = blocks_written_ % out_.size();
-  mpi::pwait(out_[oldest].req);
+  if (mpi::pwait(out_[oldest].req).error != 0) ++writes_failed_;
   out_[oldest].req.reset();
   return static_cast<int>(oldest);
 }
@@ -117,18 +181,64 @@ int Stream::write(const void* buf, int nblocks) {
 
 int Stream::write_partial(const void* buf, std::uint64_t bytes) {
   if (!open_ || !writer_) throw std::logic_error("not an open write stream");
+  if (closed_) throw std::logic_error("write on closed stream");
   if (bytes == 0 || bytes > cfg_.block_size)
     throw std::invalid_argument("bad partial-block size");
   auto& rc = mpi::Runtime::self();
   const int slot = acquire_out_buf();
   auto& ob = out_[static_cast<std::size_t>(slot)];
-  std::memcpy(ob.data->data(), buf, bytes);
+  const std::size_t ti = static_cast<std::size_t>(next_target());
+  const int peer = peers_[ti];
+  std::memcpy(ob.data->data() + frame_bytes(), buf, bytes);
+  if (framed_) {
+    BlockHeader h;
+    h.magic = kBlockMagic;
+    h.seq = out_seq_[ti]++;
+    h.payload = bytes;
+    std::memcpy(ob.data->data(), &h, sizeof h);
+    h.crc = block_crc(ob.data->data(), bytes);
+    std::memcpy(ob.data->data(), &h, sizeof h);
+  }
   rc.clock =
       rt_->machine().local_copy(rt_->core_of(rc.world_rank), bytes, rc.clock);
-  const int peer = peers_[static_cast<std::size_t>(next_target())];
-  ob.req = universe_.pisend(ob.data->data(), bytes, peer, data_tag_);
+  ob.req = universe_.pisend(ob.data->data(), bytes + frame_bytes(), peer,
+                            data_tag_);
   ++blocks_written_;
   return 1;
+}
+
+void Stream::mark_peer_dead(InPeer& ip) {
+  if (ip.dead) return;
+  ip.dead = true;
+  // The simulated reader spent its detection timeout before giving up.
+  if (mpi::Runtime::on_rank_thread())
+    mpi::Runtime::self().advance(cfg_.read_deadline);
+}
+
+bool Stream::scan_silent_dead() {
+  // A writer that finished its thread without sending end-of-stream (its
+  // EOF was dropped, or it died in a way the crash sweep could not reach)
+  // will never complete the head receive. rank_finished() is a release/
+  // acquire flag set *after* the writer's last send was queued, and the
+  // raw mailbox probe (no piprobe: it would charge nondeterministic clock
+  // overhead per poll) confirms nothing is left in flight.
+  auto& rc = mpi::Runtime::self();
+  bool changed = false;
+  for (auto& ip : in_peers_) {
+    if (ip.closed || ip.dead) continue;
+    if (!rt_->rank_finished(ip.universe_rank)) continue;
+    if (!ip.slots.empty()) {
+      auto& head = ip.slots[ip.head];
+      if (head.req && head.req->is_done()) continue;  // data to consume
+      if (rt_->mailbox(rc.world_rank)
+              .probe(universe_.context(), ip.universe_rank, ip.tag, nullptr,
+                     nullptr, nullptr))
+        continue;  // a block is queued but unmatched; let it arrive
+    }
+    mark_peer_dead(ip);
+    changed = true;
+  }
+  return changed;
 }
 
 int Stream::try_read_block(void* buf) {
@@ -144,36 +254,92 @@ int Stream::try_read_block(void* buf) {
   }
   for (std::size_t k = 0; k < n; ++k) {
     auto& ip = in_peers_[(start + k) % n];
-    while (!ip.closed) {
+    while (!ip.closed && !ip.dead) {
       auto& slot = ip.slots[ip.head];
       if (!slot.req || !slot.req->is_done()) break;
       mpi::Status st = mpi::pwait(slot.req);
       slot.req.reset();
-      if (st.bytes == 0) {
-        ip.closed = true;  // end-of-stream marker from this writer
+      if (st.error != 0) {
+        // The writer crashed; the runtime's sweep failed this receive.
+        mark_peer_dead(ip);
+        break;
+      }
+      if (!framed_) {
+        if (st.bytes == 0) {
+          ip.closed = true;  // end-of-stream marker from this writer
+          break;
+        }
+        std::memcpy(buf, slot.data->data(), st.bytes);
+        rc.clock = rt_->machine().local_copy(rt_->core_of(rc.world_rank),
+                                             st.bytes, rc.clock);
+        slot.req = universe_.pirecv(slot.data->data(), cfg_.block_size,
+                                    ip.universe_rank, ip.tag);
+        ip.head = (ip.head + 1) % ip.slots.size();
+        ++ip.blocks;
+        ++blocks_read_;
+        return 1;
+      }
+
+      // Framed path: validate before trusting a single byte.
+      BlockHeader h;
+      const bool sized = st.bytes >= sizeof h;
+      if (sized) std::memcpy(&h, slot.data->data(), sizeof h);
+      const bool intact = sized && h.magic == kBlockMagic &&
+                          h.payload + sizeof h == st.bytes &&
+                          h.crc == block_crc(slot.data->data(), h.payload);
+      if (!intact) {
+        // Corrupt block: count it, retry with the next one a bounded
+        // number of times, then quarantine the link. The block's seq is
+        // untrusted, so assume it consumed one slot of the sequence —
+        // keeps later gap accounting from double-counting it as lost.
+        ++ip.corrupted;
+        ++ip.expected_seq;
+        if (++ip.consecutive_corrupt > cfg_.max_corrupt_retries) {
+          mark_peer_dead(ip);
+          break;
+        }
+        ++ip.retried;
+        slot.req = universe_.pirecv(slot.data->data(),
+                                    cfg_.block_size + frame_bytes(),
+                                    ip.universe_rank, ip.tag);
+        ip.head = (ip.head + 1) % ip.slots.size();
+        continue;
+      }
+      ip.consecutive_corrupt = 0;
+      if (h.seq > ip.expected_seq) ip.lost += h.seq - ip.expected_seq;
+      ip.expected_seq = h.seq + 1;
+      if (h.payload == 0) {
+        ip.closed = true;  // end-of-stream, seq = writer's final count
         break;
       }
       // Short blocks (a writer's final partial pack) copy and cost only
       // their actual size; the tail of the caller's buffer is untouched.
-      std::memcpy(buf, slot.data->data(), st.bytes);
+      std::memcpy(buf, slot.data->data() + sizeof h, h.payload);
       rc.clock = rt_->machine().local_copy(rt_->core_of(rc.world_rank),
-                                           st.bytes, rc.clock);
+                                           h.payload, rc.clock);
       // Re-post the buffer immediately: a receive slot is always armed.
-      slot.req = universe_.pirecv(slot.data->data(), cfg_.block_size,
+      slot.req = universe_.pirecv(slot.data->data(),
+                                  cfg_.block_size + frame_bytes(),
                                   ip.universe_rank, ip.tag);
       ip.head = (ip.head + 1) % ip.slots.size();
+      ++ip.blocks;
       ++blocks_read_;
       return 1;
     }
   }
-  for (const auto& ip : in_peers_)
-    if (!ip.closed) return -2;  // still open, nothing ready
-  return 0;                     // every writer closed
+  bool any_dead = false;
+  for (const auto& ip : in_peers_) {
+    if (!ip.closed && !ip.dead) return -2;  // still open, nothing ready
+    if (ip.dead) any_dead = true;
+  }
+  return any_dead ? -3 : 0;  // done: broken pipe vs clean close
 }
 
 int Stream::read(void* buf, int nblocks, int flags) {
   if (!open_ || writer_) throw std::logic_error("not an open read stream");
+  if (closed_) throw std::logic_error("read on closed stream");
   auto* dst = static_cast<std::byte*>(buf);
+  const auto poll = std::chrono::microseconds(cfg_.dead_poll_us);
   int got = 0;
   while (got < nblocks) {
     const int r =
@@ -183,27 +349,40 @@ int Stream::read(void* buf, int nblocks, int flags) {
       continue;
     }
     if (r == 0) return got;  // all writers closed; 0 on first call
+    if (r == -3) return got > 0 ? got : kEpipe;
     // Nothing ready.
     if (got > 0) return got;
-    if (flags & kNonblock) return kEagain;
+    if (flags & kNonblock) {
+      // A spinning non-blocking reader must still notice dead writers,
+      // or the kEagain loop never terminates.
+      if (scan_silent_dead()) continue;
+      return kEagain;
+    }
     // Block until any head request completes, then rescan.
     std::vector<mpi::Request> heads;
     heads.reserve(in_peers_.size());
     for (auto& ip : in_peers_) {
-      if (!ip.closed && ip.slots[ip.head].req)
+      if (!ip.closed && !ip.dead && !ip.slots.empty() &&
+          ip.slots[ip.head].req)
         heads.push_back(ip.slots[ip.head].req);
     }
-    if (heads.empty()) return 0;
+    if (heads.empty()) {
+      // Nothing armed on any live peer: only the silent-dead scan can
+      // make progress now.
+      if (!scan_silent_dead()) std::this_thread::sleep_for(poll);
+      continue;
+    }
     // Wait (real time) until any head request completes, without
     // consuming it: the rescan via try_read_block does the consuming so
     // per-peer FIFO order and clock accounting stay in one place. The
     // stream-owned WaitSet outlives every posted receive, so no disarm
-    // is needed.
+    // is needed. The wait is bounded: every dead_poll_us we re-check for
+    // writers that died without a goodbye.
     const std::uint64_t ticket = waitset_.snapshot();
     bool ready = false;
     for (auto& h : heads)
       if (h->arm_waitset(&waitset_)) ready = true;
-    if (!ready) waitset_.wait_change(ticket);
+    if (!ready && !waitset_.wait_change_for(ticket, poll)) scan_silent_dead();
   }
   return got;
 }
@@ -212,17 +391,63 @@ void Stream::close() {
   if (!open_ || closed_) return;
   closed_ = true;
   if (writer_) {
-    std::vector<mpi::Request> pending;
-    for (auto& ob : out_)
-      if (ob.req) pending.push_back(ob.req);
-    mpi::pwaitall(pending);
-    // Zero-byte block = end-of-stream, one per endpoint.
-    for (int peer : peers_) universe_.psend(nullptr, 0, peer, data_tag_);
+    for (auto& ob : out_) {
+      if (!ob.req) continue;
+      if (mpi::pwait(ob.req).error != 0) ++writes_failed_;
+      ob.req.reset();
+    }
+    if (framed_) {
+      // Header-only end-of-stream per endpoint; seq carries the final
+      // per-link block count so trailing drops are still accounted.
+      for (std::size_t i = 0; i < peers_.size(); ++i) {
+        BlockHeader h;
+        h.magic = kBlockMagic;
+        h.seq = out_seq_[i];
+        h.payload = 0;
+        h.crc = crc32(reinterpret_cast<const std::byte*>(&h) + kCrcOffset,
+                      sizeof h - kCrcOffset);
+        universe_.psend(&h, sizeof h, peers_[i], data_tag_);
+      }
+    } else {
+      // Zero-byte block = end-of-stream, one per endpoint.
+      for (int peer : peers_) universe_.psend(nullptr, 0, peer, data_tag_);
+    }
   } else {
     // Drain and cancel nothing: posted receives for already-closed peers
     // were never reposted; outstanding ones are simply dropped with the
     // stream (their buffers are owned by the slots).
   }
+}
+
+StreamStats Stream::stats() const {
+  StreamStats s;
+  s.blocks_written = blocks_written_;
+  s.blocks_read = blocks_read_;
+  s.writes_failed = writes_failed_;
+  for (const auto& ip : in_peers_) {
+    s.blocks_lost += ip.lost;
+    s.blocks_corrupted += ip.corrupted;
+    s.blocks_retried += ip.retried;
+    if (ip.dead) ++s.peers_dead;
+  }
+  return s;
+}
+
+std::vector<StreamPeerStats> Stream::peer_stats() const {
+  std::vector<StreamPeerStats> out;
+  out.reserve(in_peers_.size());
+  for (const auto& ip : in_peers_) {
+    StreamPeerStats ps;
+    ps.universe_rank = ip.universe_rank;
+    ps.blocks_delivered = ip.blocks;
+    ps.blocks_lost = ip.lost;
+    ps.blocks_corrupted = ip.corrupted;
+    ps.blocks_retried = ip.retried;
+    ps.closed = ip.closed;
+    ps.dead = ip.dead;
+    out.push_back(ps);
+  }
+  return out;
 }
 
 }  // namespace esp::vmpi

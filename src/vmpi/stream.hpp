@@ -19,6 +19,19 @@
 ///    endpoint according to the policy, avoiding circular waits;
 ///  - read returns 0 once every remote writer has closed the stream.
 ///
+/// Resilience (beyond the paper): every block carries a 24-byte header
+/// (magic, CRC-32 over the payload, per-link sequence number) so the read
+/// endpoint detects corrupted blocks (CRC mismatch) and lost blocks
+/// (sequence gaps) instead of feeding garbage to analysis. A writer that
+/// dies without sending end-of-stream is detected — via the runtime's
+/// crash sweep or, for a silently-vanished writer, a real-time poll — and
+/// surfaces as kEpipe rather than a hang; declaring a peer dead charges
+/// `read_deadline` virtual seconds, modelling the reader's timeout.
+/// Framing is automatically disabled when `payload_copy_cap` cannot carry
+/// a full block plus header (skeleton-payload benchmarks): both endpoints
+/// compute the same predicate from the shared runtime config, so the wire
+/// format always agrees.
+///
 /// Streams run on the universe communicator's PMPI layer in a reserved tag
 /// space, so instrumentation (which rides the tool chain) never sees its
 /// own transport.
@@ -36,6 +49,11 @@ namespace esp::vmpi {
 /// Result of Stream::read in non-blocking mode when no block is ready.
 inline constexpr int kEagain = -11;
 
+/// Result of Stream::read once no data can ever arrive again AND at least
+/// one writer died without a clean end-of-stream (broken pipe). A clean
+/// shutdown of every writer still reads 0.
+inline constexpr int kEpipe = -32;
+
 /// Block-distribution policies (write side) and polling order (read side).
 enum class BalancePolicy { None, Random, RoundRobin };
 
@@ -46,6 +64,37 @@ struct StreamConfig {
   std::uint64_t block_size = 1u << 20;  ///< Paper: block size tends to ~1 MB.
   int n_async = 3;                      ///< N_A of Fig. 9.
   BalancePolicy policy = BalancePolicy::RoundRobin;
+  /// Corrupt blocks tolerated back-to-back from one peer before the link
+  /// is declared hopeless and the peer quarantined (counted as dead).
+  int max_corrupt_retries = 8;
+  /// Real-time poll period while blocked in read(): how often the reader
+  /// re-checks whether a silent writer has died (microseconds).
+  int dead_poll_us = 200;
+  /// Virtual seconds charged to the reader's clock when it gives up on a
+  /// silently-dead writer (the simulated detection timeout).
+  double read_deadline = 1e-3;
+};
+
+/// Per-incoming-link health, for the data-loss ledger.
+struct StreamPeerStats {
+  int universe_rank = -1;
+  std::uint64_t blocks_delivered = 0;
+  std::uint64_t blocks_lost = 0;       ///< Sequence gaps (network drops).
+  std::uint64_t blocks_corrupted = 0;  ///< CRC / framing failures.
+  std::uint64_t blocks_retried = 0;    ///< Corrupt blocks skipped-and-continued.
+  bool closed = false;                 ///< Clean end-of-stream received.
+  bool dead = false;                   ///< Writer died / link quarantined.
+};
+
+/// Whole-stream aggregate of StreamPeerStats plus write-side counters.
+struct StreamStats {
+  std::uint64_t blocks_written = 0;
+  std::uint64_t blocks_read = 0;
+  std::uint64_t blocks_lost = 0;
+  std::uint64_t blocks_corrupted = 0;
+  std::uint64_t blocks_retried = 0;
+  std::uint64_t writes_failed = 0;  ///< Sends completed with a dead peer.
+  int peers_dead = 0;
 };
 
 /// A persistent, asynchronous, block-oriented channel between partitions.
@@ -77,17 +126,25 @@ class Stream {
   /// Read one or more blocks into `buf`, which must hold nblocks *
   /// block_size() bytes — note block_size() may have been adopted from
   /// the writers at open_map(). Returns blocks read (>0), kEagain
-  /// (kNonblock set, nothing available), or 0 (all writers closed).
+  /// (kNonblock set, nothing available), 0 (all writers closed cleanly),
+  /// or kEpipe (no data can ever arrive and >= 1 writer died uncleanly).
   int read(void* buf, int nblocks, int flags = 0);
 
   /// Flush outstanding writes and send end-of-stream to every endpoint.
+  /// Idempotent: second and later calls are no-ops.
   void close();
 
   bool is_writer() const noexcept { return writer_; }
+  bool is_open() const noexcept { return open_ && !closed_; }
   std::uint64_t block_size() const noexcept { return cfg_.block_size; }
   int endpoint_count() const noexcept { return static_cast<int>(peers_.size()); }
   std::uint64_t blocks_written() const noexcept { return blocks_written_; }
   std::uint64_t blocks_read() const noexcept { return blocks_read_; }
+
+  /// Aggregate health counters (either endpoint).
+  StreamStats stats() const;
+  /// Per-incoming-link health (read endpoint; empty on writers).
+  std::vector<StreamPeerStats> peer_stats() const;
 
  private:
   struct OutBuf {
@@ -104,17 +161,31 @@ class Stream {
     std::vector<InSlot> slots;
     std::size_t head = 0;  ///< Completion order is FIFO per peer.
     bool closed = false;
+    bool dead = false;
+    std::uint64_t expected_seq = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t retried = 0;
+    int consecutive_corrupt = 0;
   };
 
   int next_target();
   int acquire_out_buf();
-  /// Try to consume one completed block; -2 when nothing ready.
+  /// Try to consume one completed block; -2 when nothing ready, 0 when
+  /// every peer closed cleanly, -3 when done with >= 1 dead peer.
   int try_read_block(void* buf);
+  void mark_peer_dead(InPeer& ip);
+  /// Declare writers that finished without end-of-stream dead. Returns
+  /// true when at least one peer changed state.
+  bool scan_silent_dead();
+  std::uint64_t frame_bytes() const noexcept;
 
   StreamConfig cfg_;
   bool open_ = false;
   bool writer_ = false;
   bool closed_ = false;
+  bool framed_ = true;  ///< Header+CRC on the wire (see file comment).
   mpi::Comm universe_;
   mpi::Runtime* rt_ = nullptr;
 
@@ -122,7 +193,9 @@ class Stream {
   std::vector<int> peers_;  ///< Reader universe ranks.
   int data_tag_ = 0;
   std::vector<OutBuf> out_;
+  std::vector<std::uint64_t> out_seq_;  ///< Per-endpoint block sequence.
   std::size_t rr_next_ = 0;
+  std::uint64_t writes_failed_ = 0;
 
   // Reader side.
   std::vector<InPeer> in_peers_;

@@ -215,6 +215,60 @@ TEST(Blackboard, CascadeDrainWaitsForDescendants) {
   EXPECT_EQ(leaves.load(), 16);
 }
 
+TEST(Blackboard, ThrowingKsCountsFailuresAndRecovers) {
+  // A KS that throws occasionally (streak below the quarantine threshold)
+  // is kept registered; every throw is counted, a success resets the
+  // streak.
+  Blackboard bb({.workers = 1, .quarantine_threshold = 3});
+  std::atomic<int> calls{0};
+  const TypeId t = type_id("flaky");
+  bb.register_ks({"flaky", {t}, [&](Blackboard&, auto) {
+                    // Every third call fails: streak never reaches 3.
+                    if (calls.fetch_add(1) % 3 == 2)
+                      throw std::runtime_error("transient");
+                  }});
+  for (int i = 0; i < 9; ++i) {
+    bb.push(DataEntry::of(t, i));
+    bb.drain();
+  }
+  EXPECT_EQ(calls.load(), 9);
+  EXPECT_EQ(bb.stats().jobs_failed, 3u);
+  EXPECT_EQ(bb.stats().ks_quarantined, 0u);
+}
+
+TEST(Blackboard, ConsecutiveFailuresQuarantineTheKs) {
+  Blackboard bb({.workers = 1, .quarantine_threshold = 2});
+  std::atomic<int> bad_calls{0}, good_calls{0};
+  const TypeId t = type_id("poison");
+  bb.register_ks({"always-throws", {t}, [&](Blackboard&, auto) {
+                    bad_calls.fetch_add(1);
+                    throw std::logic_error("broken KS");
+                  }});
+  bb.register_ks({"survivor", {t}, [&](Blackboard&, auto) {
+                    good_calls.fetch_add(1);
+                  }});
+  for (int i = 0; i < 6; ++i) {
+    bb.push(DataEntry::of(t, i));
+    bb.drain();
+  }
+  EXPECT_EQ(bad_calls.load(), 2) << "removed after the 2nd consecutive throw";
+  EXPECT_EQ(good_calls.load(), 6);
+  const auto stats = bb.stats();
+  EXPECT_EQ(stats.jobs_failed, 2u);
+  EXPECT_EQ(stats.ks_quarantined, 1u);
+  EXPECT_EQ(stats.ks_removed, 1u);
+}
+
+TEST(Blackboard, AsTooSmallPayloadFailsLoudly) {
+  const TypeId t = type_id("typed");
+  DataEntry small = DataEntry::of(t, static_cast<char>(7));
+  EXPECT_EQ(small.as<char>(), 7);
+  EXPECT_THROW(small.as<std::uint64_t>(), std::length_error)
+      << "reading more bytes than the payload holds must not be silent";
+  DataEntry empty(t, nullptr);
+  EXPECT_THROW(empty.as<int>(), std::length_error);
+}
+
 class BlackboardGeometryP
     : public ::testing::TestWithParam<std::tuple<int, int>> {};
 

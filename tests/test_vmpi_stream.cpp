@@ -243,5 +243,150 @@ TEST(VmpiStream, WriterWithoutEndpointThrows) {
   rt.run();
 }
 
+TEST(VmpiStream, NeverOpenedStreamFailsCleanly) {
+  Stream st;
+  std::byte b{};
+  EXPECT_THROW(st.read(&b, 1), std::logic_error);
+  EXPECT_THROW(st.write(&b, 1), std::logic_error);
+  EXPECT_FALSE(st.is_open());
+  st.close();  // close on a never-opened stream is a no-op, not an error
+  st.close();
+}
+
+TEST(VmpiStream, CloseIsIdempotentAndClosedAccessThrows) {
+  std::vector<ProgramSpec> progs;
+  progs.push_back({"w", 1, [](ProcEnv& env) {
+                     Stream st({1024, 2, BalancePolicy::None});
+                     st.open_peer(env, 1, "w");
+                     std::vector<std::byte> block(1024);
+                     fill_block(block, 0, 0);
+                     st.write(block.data(), 1);
+                     st.close();
+                     st.close();  // second close must be a no-op
+                     st.close();
+                     EXPECT_THROW(st.write(block.data(), 1),
+                                  std::logic_error);
+                   }});
+  progs.push_back({"r", 1, [](ProcEnv& env) {
+                     Stream st({1024, 2, BalancePolicy::None});
+                     st.open_peer(env, 0, "r");
+                     std::vector<std::byte> block(1024);
+                     EXPECT_EQ(st.read(block.data(), 1), 1);
+                     EXPECT_EQ(st.read(block.data(), 1), 0);
+                     st.close();
+                     st.close();
+                     EXPECT_THROW(st.read(block.data(), 1),
+                                  std::logic_error);
+                   }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  rt.run();
+}
+
+TEST(VmpiStream, OutOfOrderWriterClosesWithNonblockReads) {
+  // EOS contract: a reader sees 0 only after EVERY writer closed, no
+  // matter the close order; meanwhile kNonblock reads return kEagain and
+  // blocks from still-open writers keep flowing. Writer closes are forced
+  // into a fixed out-of-order sequence: w2 (no data), then w0, then w1.
+  std::atomic<int> stage{0};
+  std::atomic<int> got{0};
+  std::atomic<bool> saw_zero_early{false};
+  std::vector<ProgramSpec> progs;
+  progs.push_back({"w", 3, [&](ProcEnv& env) {
+                     Map m;
+                     m.map_partitions(
+                         env, env.runtime->partition_by_name("r")->id,
+                         MapPolicy::RoundRobin);
+                     Stream st({1024, 2, BalancePolicy::None});
+                     st.open_map(env, m, "w");
+                     std::vector<std::byte> block(1024);
+                     const int r = env.world_rank;
+                     if (r == 2) {
+                       st.close();  // closes first, wrote nothing
+                       stage.store(1);
+                     } else if (r == 0) {
+                       while (stage.load() < 1) {
+                       }
+                       for (int b = 0; b < 2; ++b) {
+                         fill_block(block, env.universe_rank, b);
+                         st.write(block.data(), 1);
+                       }
+                       st.close();
+                       stage.store(2);
+                     } else {
+                       while (stage.load() < 2) {
+                       }
+                       fill_block(block, env.universe_rank, 0);
+                       st.write(block.data(), 1);
+                       st.close();
+                     }
+                   }});
+  progs.push_back({"r", 1, [&](ProcEnv& env) {
+                     Map m;
+                     m.map_partitions(
+                         env, env.runtime->partition_by_name("w")->id,
+                         MapPolicy::RoundRobin);
+                     Stream st({1024, 2, BalancePolicy::None});
+                     st.open_map(env, m, "r");
+                     std::vector<std::byte> block(1024);
+                     int ret;
+                     do {
+                       ret = st.read(block.data(), 1, kNonblock);
+                       if (ret == 1) {
+                         EXPECT_TRUE(check_block(block));
+                         got.fetch_add(1);
+                       } else if (ret == 0 && got.load() != 3) {
+                         saw_zero_early.store(true);
+                       }
+                     } while (ret != 0);
+                   }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  rt.run();
+  EXPECT_EQ(got.load(), 3) << "all blocks from late closers must arrive";
+  EXPECT_FALSE(saw_zero_early.load())
+      << "EOS must not be reported while writers are still open";
+}
+
+TEST(VmpiStream, EosAfterDrainWhenFirstWriterClosesImmediately) {
+  // A writer that closes before the reader even opens must not starve the
+  // other link: the reader still drains everything the live writer sends.
+  std::atomic<int> got{0};
+  std::vector<ProgramSpec> progs;
+  progs.push_back({"w", 2, [](ProcEnv& env) {
+                     Stream st({2048, 3, BalancePolicy::None});
+                     st.open_peer(env, 2, "w");
+                     if (env.world_rank == 0) {
+                       st.close();
+                       return;
+                     }
+                     std::vector<std::byte> block(2048);
+                     for (int b = 0; b < 5; ++b) {
+                       fill_block(block, env.universe_rank, b);
+                       st.write(block.data(), 1);
+                     }
+                     st.close();
+                   }});
+  progs.push_back({"r", 1, [&](ProcEnv& env) {
+                     Map m;
+                     m.map_partitions(
+                         env, env.runtime->partition_by_name("w")->id,
+                         MapPolicy::RoundRobin);
+                     Stream st({2048, 3, BalancePolicy::None});
+                     st.open_map(env, m, "r");
+                     std::vector<std::byte> block(2048);
+                     int ret;
+                     do {
+                       ret = st.read(block.data(), 1, kNonblock);
+                       if (ret == 1) {
+                         EXPECT_TRUE(check_block(block));
+                         got.fetch_add(1);
+                       }
+                     } while (ret != 0);
+                     EXPECT_EQ(st.stats().blocks_read, 5u);
+                   }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  rt.run();
+  EXPECT_EQ(got.load(), 5);
+}
+
 }  // namespace
 }  // namespace esp::vmpi

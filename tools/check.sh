@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build and test the default configuration, then the
+# ASan+UBSan configuration (-DESP_SANITIZE=ON). Fault-injection tests must
+# pass under both. Run from anywhere; builds live in build/ and
+# build-sanitize/ at the repo root.
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local dir="$1"; shift
+  echo "=== configure $dir ($*) ==="
+  cmake -B "$repo/$dir" -S "$repo" "$@"
+  echo "=== build $dir ==="
+  cmake --build "$repo/$dir" -j "$jobs"
+  echo "=== ctest $dir ==="
+  ctest --test-dir "$repo/$dir" --output-on-failure -j "$jobs"
+}
+
+run_config build
+run_config build-sanitize -DESP_SANITIZE=ON
+
+echo "=== all checks passed ==="
