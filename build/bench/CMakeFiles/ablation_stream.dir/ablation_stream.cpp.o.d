@@ -230,9 +230,14 @@ bench/CMakeFiles/ablation_stream.dir/ablation_stream.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/common/rng.hpp \
- /root/repo/src/common/hash.hpp /root/repo/src/net/machine.hpp \
- /root/repo/src/net/resource.hpp /root/repo/src/simmpi/comm.hpp \
- /root/repo/src/simmpi/request.hpp /root/repo/src/simmpi/types.hpp \
+ /root/repo/src/common/hash.hpp /root/repo/src/net/fault.hpp \
+ /root/repo/src/net/machine.hpp /root/repo/src/net/resource.hpp \
+ /root/repo/src/simmpi/comm.hpp /root/repo/src/simmpi/request.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/simmpi/types.hpp \
  /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/simmpi/tool.hpp /root/repo/src/vmpi/map.hpp
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/simmpi/tool.hpp \
+ /root/repo/src/vmpi/map.hpp

@@ -261,9 +261,11 @@ bench/CMakeFiles/fig17_topologies.dir/fig17_topologies.cpp.o: \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/hash.hpp \
  /root/repo/src/common/rng.hpp /root/repo/src/simmpi/runtime.hpp \
- /root/repo/src/net/machine.hpp /root/repo/src/net/resource.hpp \
- /root/repo/src/simmpi/comm.hpp /root/repo/src/simmpi/request.hpp \
- /root/repo/src/simmpi/mailbox.hpp /root/repo/src/simmpi/tool.hpp \
+ /root/repo/src/net/fault.hpp /root/repo/src/net/machine.hpp \
+ /root/repo/src/net/resource.hpp /root/repo/src/simmpi/comm.hpp \
+ /root/repo/src/simmpi/request.hpp /root/repo/src/simmpi/mailbox.hpp \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/simmpi/tool.hpp \
  /root/repo/src/vmpi/map.hpp /root/repo/src/vmpi/stream.hpp \
  /root/repo/src/baseline/baseline_tools.hpp /root/repo/src/net/simfs.hpp \
  /root/repo/src/common/env.hpp /root/repo/src/common/table.hpp \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fault.cpp" "src/net/CMakeFiles/esp_net.dir/fault.cpp.o" "gcc" "src/net/CMakeFiles/esp_net.dir/fault.cpp.o.d"
   "/root/repo/src/net/machine.cpp" "src/net/CMakeFiles/esp_net.dir/machine.cpp.o" "gcc" "src/net/CMakeFiles/esp_net.dir/machine.cpp.o.d"
   "/root/repo/src/net/simfs.cpp" "src/net/CMakeFiles/esp_net.dir/simfs.cpp.o" "gcc" "src/net/CMakeFiles/esp_net.dir/simfs.cpp.o.d"
   )

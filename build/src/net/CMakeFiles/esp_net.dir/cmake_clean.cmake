@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/esp_net.dir/fault.cpp.o"
+  "CMakeFiles/esp_net.dir/fault.cpp.o.d"
   "CMakeFiles/esp_net.dir/machine.cpp.o"
   "CMakeFiles/esp_net.dir/machine.cpp.o.d"
   "CMakeFiles/esp_net.dir/simfs.cpp.o"

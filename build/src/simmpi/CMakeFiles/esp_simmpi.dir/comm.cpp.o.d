@@ -205,9 +205,13 @@ src/simmpi/CMakeFiles/esp_simmpi.dir/comm.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/simmpi/request.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
@@ -225,10 +229,12 @@ src/simmpi/CMakeFiles/esp_simmpi.dir/comm.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/simmpi/runtime.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /root/repo/src/common/rng.hpp \
- /root/repo/src/common/hash.hpp /root/repo/src/net/machine.hpp \
- /root/repo/src/net/resource.hpp /root/repo/src/simmpi/mailbox.hpp \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/common/buffer.hpp \
- /root/repo/src/simmpi/tool.hpp
+ /root/repo/src/net/fault.hpp /root/repo/src/simmpi/runtime.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/common/rng.hpp /root/repo/src/common/hash.hpp \
+ /root/repo/src/net/machine.hpp /root/repo/src/net/resource.hpp \
+ /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/common/buffer.hpp /root/repo/src/simmpi/tool.hpp

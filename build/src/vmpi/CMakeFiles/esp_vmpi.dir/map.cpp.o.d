@@ -219,15 +219,20 @@ src/vmpi/CMakeFiles/esp_vmpi.dir/map.cpp.o: /root/repo/src/vmpi/map.cpp \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/rng.hpp \
- /root/repo/src/common/hash.hpp /root/repo/src/net/machine.hpp \
+ /root/repo/src/common/hash.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/net/fault.hpp /root/repo/src/net/machine.hpp \
  /root/repo/src/net/resource.hpp /root/repo/src/simmpi/comm.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/simmpi/request.hpp /root/repo/src/simmpi/types.hpp \
- /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/common/buffer.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/simmpi/tool.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/span /root/repo/src/simmpi/request.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/simmpi/types.hpp \
+ /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/common/buffer.hpp /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/simmpi/tool.hpp

@@ -295,8 +295,9 @@ tests/CMakeFiles/test_cmpi.dir/test_cmpi.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/build/generated/esp/cmpi_generated.hpp \
  /root/repo/src/simmpi/comm.hpp /usr/include/c++/12/span \
- /root/repo/src/simmpi/request.hpp /usr/include/c++/12/condition_variable \
+ /root/repo/src/simmpi/request.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
@@ -306,8 +307,13 @@ tests/CMakeFiles/test_cmpi.dir/test_cmpi.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /root/repo/src/simmpi/types.hpp /root/repo/src/simmpi/runtime.hpp \
  /root/repo/src/common/rng.hpp /root/repo/src/common/hash.hpp \
- /root/repo/src/net/machine.hpp /root/repo/src/net/resource.hpp \
- /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
+ /root/repo/src/net/fault.hpp /root/repo/src/net/machine.hpp \
+ /root/repo/src/net/resource.hpp /root/repo/src/simmpi/mailbox.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/common/buffer.hpp /usr/include/c++/12/cstring \
  /root/repo/src/simmpi/tool.hpp

@@ -307,9 +307,14 @@ tests/CMakeFiles/test_instrument.dir/test_instrument.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/common/rng.hpp /root/repo/src/common/hash.hpp \
- /root/repo/src/net/machine.hpp /root/repo/src/net/resource.hpp \
- /root/repo/src/simmpi/comm.hpp /root/repo/src/simmpi/request.hpp \
- /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
+ /root/repo/src/net/fault.hpp /root/repo/src/net/machine.hpp \
+ /root/repo/src/net/resource.hpp /root/repo/src/simmpi/comm.hpp \
+ /root/repo/src/simmpi/request.hpp /usr/include/c++/12/chrono \
+ /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/simmpi/tool.hpp /root/repo/src/vmpi/stream.hpp \
- /root/repo/src/vmpi/map.hpp
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/simmpi/tool.hpp \
+ /root/repo/src/vmpi/stream.hpp /root/repo/src/vmpi/map.hpp

@@ -305,10 +305,16 @@ tests/CMakeFiles/test_runtime_properties.dir/test_runtime_properties.cpp.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
  /root/repo/src/common/rng.hpp /root/repo/src/common/hash.hpp \
- /root/repo/src/net/machine.hpp /root/repo/src/net/resource.hpp \
- /root/repo/src/simmpi/comm.hpp /usr/include/c++/12/span \
- /root/repo/src/simmpi/request.hpp /root/repo/src/simmpi/types.hpp \
- /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/deque \
+ /root/repo/src/net/fault.hpp /root/repo/src/net/machine.hpp \
+ /root/repo/src/net/resource.hpp /root/repo/src/simmpi/comm.hpp \
+ /usr/include/c++/12/span /root/repo/src/simmpi/request.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/simmpi/types.hpp \
+ /root/repo/src/simmpi/mailbox.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/common/buffer.hpp /usr/include/c++/12/cstring \
  /root/repo/src/simmpi/tool.hpp /root/repo/src/vmpi/map.hpp

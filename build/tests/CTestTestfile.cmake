@@ -21,3 +21,4 @@ include("/root/repo/build/tests/test_modules_ext[1]_include.cmake")
 include("/root/repo/build/tests/test_trace_export[1]_include.cmake")
 include("/root/repo/build/tests/test_runtime_properties[1]_include.cmake")
 include("/root/repo/build/tests/test_concurrency[1]_include.cmake")
+include("/root/repo/build/tests/test_faults[1]_include.cmake")
