@@ -186,19 +186,31 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
   // the blackboard (temporary storage), freeing the stream slot. Buffers
   // are sized from the stream's *adopted* block size: open_map takes the
   // writers' geometry, which may differ from this analyzer's config.
+  // Bursts of queued blocks drain in one read_some() and enter the board
+  // through a single submit_batch(), so the sensitivity index and the
+  // dispatcher KS are locked once per burst, not once per block.
   const std::uint64_t block_size = stream.block_size();
   const double per_event =
       cfg.per_event_cost / static_cast<double>(cfg.board.workers);
+  const int read_batch = std::max(1, cfg.read_batch);
+  std::vector<BufferRef> blocks;
+  std::vector<bb::DataEntry> batch;
+  blocks.reserve(static_cast<std::size_t>(read_batch));
+  batch.reserve(static_cast<std::size_t>(read_batch));
   for (;;) {
-    auto block = Buffer::make(block_size);
-    const int r = stream.read(block->data(), 1);
+    blocks.clear();
+    batch.clear();
+    const int r = stream.read_some(blocks, read_batch);
+    for (auto& block : blocks) {
+      const auto view = inst::PackView::parse(block->data(), block->size());
+      if (view.valid())
+        rc.advance(static_cast<double>(view.header->event_count) * per_event);
+      batch.emplace_back(pack_type(), std::move(block));
+    }
+    if (!batch.empty()) board.submit_batch(batch);
     // 0 = every writer closed cleanly; kEpipe = no more data can arrive
     // but >= 1 writer died — either way, analyze what we got.
     if (r == 0 || r == vmpi::kEpipe) break;
-    const auto view = inst::PackView::parse(block->data(), block->size());
-    if (view.valid())
-      rc.advance(static_cast<double>(view.header->event_count) * per_event);
-    board.push(pack_type(), std::move(block));
   }
   board.drain();
   board.stop();

@@ -34,6 +34,9 @@ struct AnalyzerConfig {
   bb::BlackboardConfig board{.workers = 4, .fifo_count = 16};
   std::uint64_t block_size = 1u << 20;
   int n_async = 3;
+  /// Max stream blocks drained per blackboard submission: one batched
+  /// submit_batch() per burst instead of one lock round-trip per block.
+  int read_batch = 16;
   /// Analysis CPU cost per event (divided by worker count).
   double per_event_cost = 100e-9;
   vmpi::MapPolicy map_policy = vmpi::MapPolicy::RoundRobin;

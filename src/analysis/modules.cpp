@@ -64,23 +64,26 @@ void register_unpacker(bb::Blackboard& board, const AppLevel& level) {
          const auto& e = entries[0];
          PackView v = PackView::parse(e.payload->data(), e.payload->size());
          if (!v.valid()) return;
-         const std::uint32_t n = v.header->event_count;
          std::vector<Event> mpi_events, posix_events;
-         mpi_events.reserve(n);
-         for (std::uint32_t i = 0; i < n; ++i) {
-           const Event& ev = v.events[i];
+         mpi_events.reserve(v.header->event_count);
+         for (const Event& ev : v.span()) {
            if (inst::is_mpi(ev.kind)) {
              mpi_events.push_back(ev);
            } else {
              posix_events.push_back(ev);
            }
          }
+         // Both derived entries enter the board in one batch: the
+         // profiling KSs downstream are locked once per pack.
+         std::vector<bb::DataEntry> out;
          auto emit = [&](bb::TypeId t, const std::vector<Event>& evs) {
            if (evs.empty()) return;
-           b.push(t, Buffer::copy_of(evs.data(), evs.size() * sizeof(Event)));
+           out.emplace_back(
+               t, Buffer::copy_of(evs.data(), evs.size() * sizeof(Event)));
          };
          emit(out_mpi, mpi_events);
          emit(out_posix, posix_events);
+         b.submit_batch(out);
        }});
 }
 

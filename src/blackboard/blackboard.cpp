@@ -1,19 +1,55 @@
 #include "blackboard/blackboard.hpp"
 
+#include <algorithm>
 #include <thread>
 
 namespace esp::bb {
 
+namespace {
+
+/// Worker identity of the current thread: lets enqueue_batch route jobs
+/// submitted from inside a KS operation onto that worker's own deque
+/// (lock-free) instead of through the injection FIFOs.
+struct WorkerTls {
+  const Blackboard* board = nullptr;
+  int index = -1;
+};
+thread_local WorkerTls t_worker;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 Blackboard::Blackboard(BlackboardConfig cfg) : cfg_(cfg) {
-  if (cfg_.workers <= 0) cfg_.workers = 1;
-  if (cfg_.fifo_count <= 0) cfg_.fifo_count = 1;
-  if (cfg_.quarantine_threshold <= 0) cfg_.quarantine_threshold = 1;
+  if (cfg_.workers <= 0)
+    throw std::invalid_argument("BlackboardConfig::workers must be > 0");
+  if (cfg_.fifo_count <= 0)
+    throw std::invalid_argument("BlackboardConfig::fifo_count must be > 0");
+  if (cfg_.quarantine_threshold <= 0)
+    throw std::invalid_argument(
+        "BlackboardConfig::quarantine_threshold must be > 0");
+  if (cfg_.index_shards <= 0)
+    throw std::invalid_argument("BlackboardConfig::index_shards must be > 0");
+
+  const std::size_t shards =
+      round_up_pow2(static_cast<std::size_t>(cfg_.index_shards));
+  index_shards_ = std::vector<IndexShard>(shards);
+  shard_mask_ = shards - 1;
+
   fifos_.reserve(static_cast<std::size_t>(cfg_.fifo_count));
   for (int i = 0; i < cfg_.fifo_count; ++i)
     fifos_.push_back(std::make_unique<Fifo>());
+
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i)
-    workers_.emplace_back([this, i] { worker_loop(i); });
+    workers_.push_back(std::make_unique<Worker>());
+  for (int i = 0; i < cfg_.workers; ++i)
+    workers_[static_cast<std::size_t>(i)]->thread =
+        std::thread([this, i] { worker_loop(i); });
 }
 
 Blackboard::~Blackboard() { stop(); }
@@ -27,12 +63,16 @@ KsId Blackboard::register_ks(KsSpec spec) {
   for (TypeId t : ks->sensitivities) ks->multiplicity[t] += 1;
 
   {
-    std::unique_lock lock(index_mu_);
+    std::lock_guard lock(registry_mu_);
     ks_by_id_.emplace(ks->id, ks);
-    for (const auto& [t, mult] : ks->multiplicity) {
-      (void)mult;
-      index_[t].push_back(ks);
-    }
+  }
+  // One shard lock at a time; shards are never nested, so registration
+  // cannot deadlock against submissions or other registrations.
+  for (const auto& [t, mult] : ks->multiplicity) {
+    (void)mult;
+    auto& sh = shard_of(t);
+    std::unique_lock lock(sh.mu);
+    sh.map[t].push_back(ks);
   }
   ks_registered_.fetch_add(1);
   return ks->id;
@@ -41,125 +81,239 @@ KsId Blackboard::register_ks(KsSpec spec) {
 void Blackboard::remove_ks(KsId id) {
   std::shared_ptr<KsState> ks;
   {
-    std::unique_lock lock(index_mu_);
+    std::lock_guard lock(registry_mu_);
     auto it = ks_by_id_.find(id);
     if (it == ks_by_id_.end()) return;
     ks = it->second;
     ks_by_id_.erase(it);
-    for (const auto& [t, mult] : ks->multiplicity) {
-      (void)mult;
-      auto idx = index_.find(t);
-      if (idx == index_.end()) continue;
-      auto& vec = idx->second;
-      std::erase_if(vec, [&](const auto& p) { return p->id == id; });
-      if (vec.empty()) index_.erase(idx);
-    }
+  }
+  for (const auto& [t, mult] : ks->multiplicity) {
+    (void)mult;
+    auto& sh = shard_of(t);
+    std::unique_lock lock(sh.mu);
+    auto idx = sh.map.find(t);
+    if (idx == sh.map.end()) continue;
+    auto& vec = idx->second;
+    std::erase_if(vec, [&](const auto& p) { return p->id == id; });
+    if (vec.empty()) sh.map.erase(idx);
   }
   ks->alive.store(false, std::memory_order_release);
   ks_removed_.fetch_add(1);
 }
 
-void Blackboard::push(DataEntry entry) {
-  entries_pushed_.fetch_add(1);
-  // Snapshot interested KSs under the shared lock; trigger outside it so
-  // operations registered concurrently cannot deadlock the index.
-  std::vector<std::shared_ptr<KsState>> interested;
-  {
-    std::shared_lock lock(index_mu_);
-    auto it = index_.find(entry.type);
-    if (it == index_.end()) return;  // nobody listens: entry is dropped
-    interested = it->second;
+void Blackboard::push(DataEntry entry) { submit_batch({&entry, 1}); }
+
+void Blackboard::submit_batch(std::span<const DataEntry> entries) {
+  if (entries.empty()) return;
+  entries_pushed_.fetch_add(entries.size());
+  batches_submitted_.fetch_add(1);
+
+  // Snapshot interested KSs once per distinct type in the batch (under the
+  // type's shard lock, shared mode), then group the batch per KS so each
+  // KS mutex is taken once for the whole batch. Entry order is preserved.
+  struct TypeSnap {
+    TypeId type;
+    std::vector<std::shared_ptr<KsState>> interested;
+  };
+  struct KsBatch {
+    KsState* key;
+    std::shared_ptr<KsState> ks;
+    std::vector<const DataEntry*> entries;
+  };
+  std::vector<TypeSnap> snaps;   // batches carry few distinct types
+  std::vector<KsBatch> touched;  // ... and trigger few distinct KSs
+
+  for (const DataEntry& e : entries) {
+    TypeSnap* snap = nullptr;
+    for (auto& s : snaps)
+      if (s.type == e.type) {
+        snap = &s;
+        break;
+      }
+    if (snap == nullptr) {
+      TypeSnap s;
+      s.type = e.type;
+      auto& sh = shard_of(e.type);
+      {
+        std::shared_lock lock(sh.mu);
+        auto it = sh.map.find(e.type);
+        if (it != sh.map.end()) s.interested = it->second;
+      }
+      snaps.push_back(std::move(s));
+      snap = &snaps.back();
+    }
+    for (const auto& ks : snap->interested) {
+      KsBatch* kb = nullptr;
+      for (auto& b : touched)
+        if (b.key == ks.get()) {
+          kb = &b;
+          break;
+        }
+      if (kb == nullptr) {
+        touched.push_back(KsBatch{ks.get(), ks, {}});
+        kb = &touched.back();
+      }
+      kb->entries.push_back(&e);
+    }
   }
-  for (auto& ks : interested) {
-    if (!ks->alive.load(std::memory_order_acquire)) continue;
-    Job job;
-    {
-      std::lock_guard lock(ks->mu);
-      ks->pending[entry.type].push_back(entry);
-      // Last unsatisfied sensitivity? Collect one job's worth of entries.
+
+  std::vector<Job*> jobs;
+  for (auto& kb : touched) {
+    if (!kb.ks->alive.load(std::memory_order_acquire)) continue;
+    Job* chunk = nullptr;
+    std::lock_guard lock(kb.ks->mu);
+    for (const DataEntry* e : kb.entries) {
+      kb.ks->pending[e->type].push_back(*e);
+      // Last unsatisfied sensitivity? Collect one group's worth of
+      // entries onto this KS's chunk for the batch.
       bool satisfied = true;
-      for (const auto& [t, need] : ks->multiplicity) {
-        if (ks->pending[t].size() < need) {
+      for (const auto& [t, need] : kb.ks->multiplicity) {
+        if (kb.ks->pending[t].size() < need) {
           satisfied = false;
           break;
         }
       }
       if (!satisfied) continue;
-      job.ks = ks;
-      job.entries.reserve(ks->sensitivities.size());
-      for (TypeId t : ks->sensitivities) {
-        auto& q = ks->pending[t];
-        job.entries.push_back(std::move(q.front()));
+      if (chunk == nullptr) {
+        chunk = new Job;
+        chunk->ks = kb.ks;
+        chunk->arity =
+            static_cast<std::uint32_t>(kb.ks->sensitivities.size());
+        jobs.push_back(chunk);
+      }
+      for (TypeId t : kb.ks->sensitivities) {
+        auto& q = kb.ks->pending[t];
+        chunk->entries.push_back(std::move(q.front()));
         q.pop_front();
       }
     }
-    enqueue_job(std::move(job));
   }
+  enqueue_batch(jobs);
 }
 
-void Blackboard::enqueue_job(Job job) {
-  inflight_.fetch_add(1, std::memory_order_acq_rel);
-  const std::size_t idx =
-      mix64(rr_seed_.fetch_add(0x9e3779b9)) % fifos_.size();
-  {
-    std::lock_guard lock(fifos_[idx]->mu);
-    fifos_[idx]->jobs.push_back(std::move(job));
-  }
-  wake_cv_.notify_one();
-}
-
-bool Blackboard::try_pop_job(Job& out, std::size_t start) {
-  for (std::size_t k = 0; k < fifos_.size(); ++k) {
-    auto& f = *fifos_[(start + k) % fifos_.size()];
-    std::lock_guard lock(f.mu);
-    if (!f.jobs.empty()) {
-      out = std::move(f.jobs.front());
-      f.jobs.pop_front();
-      return true;
+void Blackboard::enqueue_batch(std::vector<Job*>& jobs) {
+  if (jobs.empty()) return;
+  inflight_.fetch_add(static_cast<std::int64_t>(jobs.size()),
+                      std::memory_order_acq_rel);
+  if (cfg_.scheduler == SchedulerMode::WorkStealing &&
+      t_worker.board == this) {
+    // Hot path: a KS operation submitting follow-up work lands on its own
+    // worker's deque, lock-free; idle workers steal it if this one lags.
+    auto& dq = workers_[static_cast<std::size_t>(t_worker.index)]->deque;
+    for (Job* j : jobs) dq.push(j);
+  } else if (cfg_.scheduler == SchedulerMode::WorkStealing) {
+    // External producer: one injection-FIFO lock for the whole batch.
+    const std::size_t qi =
+        mix64(rr_seed_.fetch_add(0x9e3779b9)) % fifos_.size();
+    std::lock_guard lock(fifos_[qi]->mu);
+    for (Job* j : jobs) fifos_[qi]->jobs.push_back(j);
+  } else {
+    // Paper-faithful contention spreading: each job to a random FIFO.
+    for (Job* j : jobs) {
+      const std::size_t qi =
+          mix64(rr_seed_.fetch_add(0x9e3779b9)) % fifos_.size();
+      std::lock_guard lock(fifos_[qi]->mu);
+      fifos_[qi]->jobs.push_back(j);
     }
   }
-  return false;
+  if (jobs.size() == 1)
+    wake_cv_.notify_one();
+  else
+    wake_cv_.notify_all();
+}
+
+Blackboard::Job* Blackboard::pop_fifo(std::size_t qi) {
+  auto& f = *fifos_[qi];
+  std::lock_guard lock(f.mu);
+  if (f.jobs.empty()) return nullptr;
+  Job* j = f.jobs.front();
+  f.jobs.pop_front();
+  return j;
+}
+
+Blackboard::Job* Blackboard::next_job(int worker_index, Rng& rng) {
+  const auto wi = static_cast<std::size_t>(worker_index);
+  if (cfg_.scheduler == SchedulerMode::LockedFifos) {
+    // Random-start sweep over the FIFO array (paper Fig. 13).
+    const std::size_t start = rng.below(fifos_.size());
+    for (std::size_t k = 0; k < fifos_.size(); ++k)
+      if (Job* j = pop_fifo((start + k) % fifos_.size())) return j;
+    return nullptr;
+  }
+  // 1. Own deque (lock-free LIFO: freshest work, hottest caches).
+  if (Job* j = workers_[wi]->deque.pop()) return j;
+  // 2. Injection FIFOs, own slot first so external work spreads evenly.
+  for (std::size_t k = 0; k < fifos_.size(); ++k)
+    if (Job* j = pop_fifo((wi + k) % fifos_.size())) return j;
+  // 3. Steal from a victim's deque, random start to avoid convoys.
+  if (workers_.size() > 1) {
+    const std::size_t start = rng.below(workers_.size());
+    for (std::size_t k = 0; k < workers_.size(); ++k) {
+      const std::size_t v = (start + k) % workers_.size();
+      if (v == wi) continue;
+      if (Job* j = workers_[v]->deque.steal()) {
+        jobs_stolen_.fetch_add(1, std::memory_order_relaxed);
+        return j;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void Blackboard::execute(Job* job) {
+  const std::size_t arity = std::max<std::size_t>(1, job->arity);
+  for (std::size_t off = 0; off < job->entries.size(); off += arity) {
+    // Liveness is re-checked per group: a quarantine triggered earlier in
+    // this very chunk stops the remaining invocations.
+    if (job->ks->alive.load(std::memory_order_acquire)) {
+      // Exception isolation: a throwing operation must not unwind the
+      // worker thread (std::terminate would take the whole pool down).
+      try {
+        job->ks->operation(
+            *this, std::span<const DataEntry>(job->entries.data() + off,
+                                              arity));
+        job->ks->consecutive_failures.store(0, std::memory_order_relaxed);
+      } catch (...) {
+        jobs_failed_.fetch_add(1);
+        const int streak = job->ks->consecutive_failures.fetch_add(
+                               1, std::memory_order_acq_rel) +
+                           1;
+        // fetch_add makes exactly one worker observe the threshold
+        // crossing, so the KS is quarantined once.
+        if (streak == cfg_.quarantine_threshold) {
+          remove_ks(job->ks->id);
+          ks_quarantined_.fetch_add(1);
+        }
+      }
+    }
+    jobs_executed_.fetch_add(1);
+  }
+  delete job;
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
 }
 
 void Blackboard::worker_loop(int worker_index) {
-  Rng rng(mix64(0x9e3779b97f4a7c15ull ^ static_cast<std::uint64_t>(worker_index + 1)));
+  t_worker = WorkerTls{this, worker_index};
+  Rng rng(mix64(0x9e3779b97f4a7c15ull ^
+                static_cast<std::uint64_t>(worker_index + 1)));
   std::chrono::microseconds backoff{1};
   for (;;) {
-    Job job;
-    if (try_pop_job(job, rng.below(fifos_.size()))) {
+    if (Job* job = next_job(worker_index, rng)) {
       backoff = std::chrono::microseconds{1};
-      if (job.ks->alive.load(std::memory_order_acquire)) {
-        // Exception isolation: a throwing operation must not unwind the
-        // worker thread (std::terminate would take the whole pool down).
-        try {
-          job.ks->operation(*this, job.entries);
-          job.ks->consecutive_failures.store(0, std::memory_order_relaxed);
-        } catch (...) {
-          jobs_failed_.fetch_add(1);
-          const int streak = job.ks->consecutive_failures.fetch_add(
-                                 1, std::memory_order_acq_rel) +
-                             1;
-          // fetch_add makes exactly one worker observe the threshold
-          // crossing, so the KS is quarantined once.
-          if (streak == cfg_.quarantine_threshold) {
-            remove_ks(job.ks->id);
-            ks_quarantined_.fetch_add(1);
-          }
-        }
-      }
-      jobs_executed_.fetch_add(1);
-      if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(drain_mu_);
-        drain_cv_.notify_all();
-      }
+      execute(job);
       continue;
     }
-    if (stopping_.load(std::memory_order_acquire)) return;
-    // Exponential back-off keeps idle workers from spinning on the locks.
+    if (stopping_.load(std::memory_order_acquire)) break;
+    // Exponential back-off keeps idle workers from spinning on the locks
+    // (and off other workers' deque cache lines).
     std::unique_lock lock(wake_mu_);
     wake_cv_.wait_for(lock, backoff);
     backoff = std::min(backoff * 2, cfg_.max_backoff);
   }
+  t_worker = WorkerTls{};
 }
 
 void Blackboard::drain() {
@@ -169,11 +323,31 @@ void Blackboard::drain() {
   });
 }
 
+void Blackboard::drain_leftovers() {
+  // Workers are joined: every deque and FIFO is ours alone now. A CAS
+  // race during shutdown can leave a job behind in a deque even though
+  // its worker saw "empty"; the stop() contract says queued jobs run
+  // before stop returns, so finish them inline (steal() is safe from
+  // this thread, and jobs submitted by these executions land in the
+  // injection FIFOs where this loop picks them up).
+  for (;;) {
+    Job* job = nullptr;
+    for (auto& w : workers_)
+      if ((job = w->deque.steal()) != nullptr) break;
+    if (job == nullptr)
+      for (std::size_t q = 0; q < fifos_.size() && job == nullptr; ++q)
+        job = pop_fifo(q);
+    if (job == nullptr) return;
+    execute(job);
+  }
+}
+
 void Blackboard::stop() {
   if (stopping_.exchange(true)) return;
   wake_cv_.notify_all();
   for (auto& w : workers_)
-    if (w.joinable()) w.join();
+    if (w->thread.joinable()) w->thread.join();
+  drain_leftovers();
 }
 
 BlackboardStats Blackboard::stats() const {
@@ -184,6 +358,8 @@ BlackboardStats Blackboard::stats() const {
   s.ks_removed = ks_removed_.load();
   s.jobs_failed = jobs_failed_.load();
   s.ks_quarantined = ks_quarantined_.load();
+  s.jobs_stolen = jobs_stolen_.load();
+  s.batches_submitted = batches_submitted_.load();
   return s;
 }
 

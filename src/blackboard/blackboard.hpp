@@ -14,10 +14,7 @@
 ///  - the control system only matches sensitivities: a submitted entry is
 ///    looked up in the sensitivity hash table, queued on the matching KS,
 ///    and when it satisfies the last open sensitivity a Job
-///    {{Data entries}, Operation} is pushed into one of an array of
-///    lock-protected FIFOs chosen at random (contention spreading);
-///  - a pool of workers sweeps the FIFO array from random starting points,
-///    with an exponential back-off that keeps idle threads off the locks;
+///    {{Data entries}, Operation} becomes runnable;
 ///  - data entries are read-mostly and managed by ref-counting: a payload
 ///    is writable only while its ref-count is one; buffers are freed
 ///    automatically once every processing that references them completes,
@@ -26,6 +23,24 @@
 ///  - multi-level blackboards use type ids hashed from (level, type name),
 ///    so the same KS graph can be instantiated once per application level
 ///    (Fig. 5).
+///
+/// Scheduling. The paper spreads contention over "an array of
+/// lock-protected FIFOs … swept by workers with back-off" (Fig. 13). That
+/// design is preserved as SchedulerMode::LockedFifos (and benchmarked in
+/// bench/ablation_blackboard.cpp), but the default scheduler scales
+/// further:
+///  - each worker owns a Chase-Lev deque: jobs submitted from a worker
+///    (KS chains, the dominant hot path) are pushed and popped lock-free;
+///  - idle workers steal from victims' deques before falling back to the
+///    paper's exponential back-off, which stays the final idle state;
+///  - jobs submitted from non-worker threads enter an array of
+///    lock-protected injection FIFOs (the paper's structure, now only on
+///    the cold path); `fifo_count` — kept as a deprecated alias — sizes it;
+///  - the sensitivity hash table is sharded by TypeId so concurrent
+///    submissions (stream readers, unpackers, KS operations) do not
+///    serialize on one shared_mutex;
+///  - submit_batch() amortizes one index lookup and one KS lock over a
+///    whole event pack instead of paying them per event.
 
 #include <atomic>
 #include <condition_variable>
@@ -44,6 +59,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "blackboard/steal_deque.hpp"
 #include "common/buffer.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
@@ -107,15 +123,29 @@ struct KsSpec {
   Operation operation;
 };
 
+/// Job scheduler selection; LockedFifos is the paper's original design,
+/// kept for ablation benchmarks and as a fallback.
+enum class SchedulerMode {
+  WorkStealing,  ///< Per-worker Chase-Lev deques + injection FIFOs.
+  LockedFifos,   ///< Random-sweep array of lock-protected FIFOs (Fig. 13).
+};
+
 struct BlackboardConfig {
   int workers = 4;
-  int fifo_count = 16;  ///< Width of the job FIFO array.
+  /// Width of the external-submission FIFO array. Deprecated alias: under
+  /// SchedulerMode::LockedFifos this is the paper's job-FIFO array width;
+  /// under WorkStealing it only sizes the injection queues for non-worker
+  /// producers (workers use their own deques).
+  int fifo_count = 16;
   /// Back-off cap for idle workers.
   std::chrono::microseconds max_backoff{2000};
   /// A KS whose operation throws this many times *consecutively* is
   /// quarantined (removed) so one broken analysis module cannot starve
   /// the pool; a single success resets the streak.
   int quarantine_threshold = 3;
+  SchedulerMode scheduler = SchedulerMode::WorkStealing;
+  /// Sensitivity-index shard count (rounded up to a power of two).
+  int index_shards = 16;
 };
 
 struct BlackboardStats {
@@ -125,12 +155,17 @@ struct BlackboardStats {
   std::uint64_t ks_removed = 0;
   std::uint64_t jobs_failed = 0;     ///< Operations that threw.
   std::uint64_t ks_quarantined = 0;  ///< KSs removed for repeated failure.
+  std::uint64_t jobs_stolen = 0;     ///< Jobs taken from another worker's deque.
+  std::uint64_t batches_submitted = 0;  ///< submit_batch calls (incl. push).
 };
 
 /// The engine. Workers start in the constructor and stop in the destructor
 /// (or via stop()).
 class Blackboard {
  public:
+  /// Throws std::invalid_argument on a non-positive worker, FIFO, shard or
+  /// quarantine-threshold count (a zero-width pool would hang, a zero-width
+  /// FIFO array was UB).
   explicit Blackboard(BlackboardConfig cfg = {});
   ~Blackboard();
 
@@ -148,11 +183,20 @@ class Blackboard {
     push(DataEntry(type, std::move(payload)));
   }
 
+  /// Submit a batch of entries in one shot: the sensitivity lookup is
+  /// cached per type and each matching KS is locked once for the whole
+  /// batch, so one lock acquisition amortizes over an event pack instead
+  /// of being paid per event. Entry order is preserved (FIFO pairing
+  /// semantics are identical to an equivalent sequence of push() calls);
+  /// a KS registered concurrently with a batch may observe the batch
+  /// atomically (all entries or none).
+  void submit_batch(std::span<const DataEntry> entries);
+
   /// Block until no jobs are queued or running. Entries held by partially
   /// satisfied multi-sensitivity KSs are not runnable work and stay queued.
   void drain();
 
-  /// Stop the worker pool; queued jobs are executed before workers exit.
+  /// Stop the worker pool; queued jobs are executed before stop returns.
   void stop();
 
   BlackboardStats stats() const;
@@ -173,25 +217,53 @@ class Blackboard {
     std::unordered_map<TypeId, std::size_t> multiplicity;
   };
 
+  /// A runnable chunk: one or more satisfied sensitivity groups of a
+  /// single KS, concatenated. Batched submission produces one chunk per
+  /// (KS, batch) — one allocation and one queue operation amortize over
+  /// the whole batch; the worker invokes the operation once per
+  /// arity-sized group.
   struct Job {
     std::shared_ptr<KsState> ks;
-    std::vector<DataEntry> entries;
+    std::vector<DataEntry> entries;  ///< groups * arity entries.
+    std::uint32_t arity = 1;         ///< Entries per operation invocation.
   };
 
+  /// A lock-protected FIFO: the whole scheduler under LockedFifos, the
+  /// external-producer injection queue under WorkStealing.
   struct Fifo {
     std::mutex mu;
-    std::deque<Job> jobs;
+    std::deque<Job*> jobs;
   };
 
-  void enqueue_job(Job job);
-  bool try_pop_job(Job& out, std::size_t start);
+  struct Worker {
+    StealDeque<Job> deque;
+    std::thread thread;
+  };
+
+  /// One shard of the sensitivity hash table.
+  struct IndexShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<TypeId, std::vector<std::shared_ptr<KsState>>> map;
+  };
+
+  IndexShard& shard_of(TypeId t) noexcept {
+    return index_shards_[mix64(t) & shard_mask_];
+  }
+
+  void enqueue_batch(std::vector<Job*>& jobs);
+  Job* next_job(int worker_index, Rng& rng);
+  Job* pop_fifo(std::size_t qi);
+  void execute(Job* job);
   void worker_loop(int worker_index);
+  void drain_leftovers();
 
   BlackboardConfig cfg_;
 
-  // Sensitivity hash table: type id -> interested KSs.
-  mutable std::shared_mutex index_mu_;
-  std::unordered_map<TypeId, std::vector<std::shared_ptr<KsState>>> index_;
+  // Sharded sensitivity hash table: type id -> interested KSs.
+  std::vector<IndexShard> index_shards_;
+  std::size_t shard_mask_ = 0;
+  // KS registry (registration bookkeeping only; not on the submit path).
+  std::mutex registry_mu_;
   std::unordered_map<KsId, std::shared_ptr<KsState>> ks_by_id_;
   std::atomic<KsId> next_ks_id_{1};
 
@@ -199,7 +271,7 @@ class Blackboard {
   std::atomic<std::uint64_t> rr_seed_{0x1234};
 
   // Worker pool + idle back-off.
-  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stopping_{false};
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;
@@ -216,6 +288,8 @@ class Blackboard {
   std::atomic<std::uint64_t> ks_removed_{0};
   std::atomic<std::uint64_t> jobs_failed_{0};
   std::atomic<std::uint64_t> ks_quarantined_{0};
+  std::atomic<std::uint64_t> jobs_stolen_{0};
+  std::atomic<std::uint64_t> batches_submitted_{0};
 };
 
 }  // namespace esp::bb

@@ -1,0 +1,132 @@
+#pragma once
+/// \file steal_deque.hpp
+/// \brief Chase-Lev work-stealing deque (lock-free, single-owner).
+///
+/// The blackboard's scheduler keeps one of these per worker: the owning
+/// worker pushes and pops jobs at the bottom without ever taking a lock,
+/// while idle workers steal from the top with a single CAS. This is the
+/// classic Chase & Lev "Dynamic Circular Work-Stealing Deque" (SPAA '05)
+/// in the fence-free formulation of Lê et al. (PPoPP '13), with seq_cst
+/// on the two racing index operations instead of standalone
+/// atomic_thread_fence so ThreadSanitizer models the synchronization
+/// precisely (standalone fences are invisible to older TSan runtimes).
+///
+/// Elements are raw pointers: slots must be trivially copyable because a
+/// thief may read a slot that the owner is concurrently overwriting after
+/// wrap-around; the CAS on `top_` is what decides ownership of the index,
+/// so the racy read is confined to the atomic slot itself and a loser
+/// never dereferences what it read.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace esp::bb {
+
+template <typename T>
+class StealDeque {
+ public:
+  explicit StealDeque(std::size_t initial_capacity = 256)
+      : ring_(new Ring(round_up_pow2(initial_capacity))) {}
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  ~StealDeque() {
+    delete ring_.load(std::memory_order_relaxed);
+    // retired_ rings delete themselves via unique_ptr.
+  }
+
+  /// Owner only. Never blocks; grows the ring when full.
+  void push(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(r->capacity) - 1) r = grow(r, t, b);
+    r->slot(b).store(item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only. LIFO end: best cache locality for job chains.
+  T* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    // The store must be globally ordered before the top_ load below
+    // (the one racing pair of the algorithm), hence seq_cst on both.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // deque was empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = r->slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed))
+        item = nullptr;  // a thief won
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread. FIFO end: steals the oldest job.
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Ring* r = ring_.load(std::memory_order_acquire);
+    T* item = r->slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return nullptr;  // lost the race; caller retries elsewhere
+    return item;
+  }
+
+  /// Racy size estimate (monitoring / victim selection only).
+  std::size_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t cap) : capacity(cap), mask(cap - 1), slots(cap) {}
+    std::size_t capacity;
+    std::size_t mask;
+    std::vector<std::atomic<T*>> slots;
+    std::atomic<T*>& slot(std::int64_t i) {
+      return slots[static_cast<std::size_t>(i) & mask];
+    }
+  };
+
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 8;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  /// Owner only. Thieves may still hold the old ring, so it is retired,
+  /// not freed, until the deque itself dies (indices in [t, b) are the
+  /// ownership tokens — copying live slots into the new ring cannot
+  /// double-deliver because a stolen index is never revisited).
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i)
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    ring_.store(bigger, std::memory_order_release);
+    retired_.emplace_back(old);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_;
+  std::vector<std::unique_ptr<Ring>> retired_;  ///< Owner-only mutation.
+};
+
+}  // namespace esp::bb

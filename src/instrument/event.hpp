@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 
 #include "common/buffer.hpp"
 #include "simmpi/types.hpp"
@@ -93,6 +94,11 @@ struct PackView {
     return v;
   }
   bool valid() const noexcept { return header != nullptr; }
+
+  /// The pack's events as a bounds-checked span (empty when invalid).
+  std::span<const Event> span() const noexcept {
+    return {events, valid() ? header->event_count : 0};
+  }
 };
 
 }  // namespace esp::inst

@@ -74,16 +74,18 @@ struct RequestState {
   WaitSet* waitset = nullptr;
 
   void complete(double t, Status st) {
-    WaitSet* ws = nullptr;
-    {
-      std::lock_guard lock(mu);
-      done = true;
-      finish = t;
-      status = st;
-      ws = waitset;
-    }
+    std::unique_lock lock(mu);
+    done = true;
+    finish = t;
+    status = st;
+    // Notify while still holding the request lock: once disarm_waitset()
+    // (same lock) returns, no completion can touch the WaitSet again, so
+    // a stack- or stream-owned WaitSet may be destroyed right after
+    // disarming. Safe order-wise: nothing locks a request while holding a
+    // WaitSet's mutex.
+    if (waitset != nullptr) waitset->notify();
+    lock.unlock();
     cv.notify_all();
-    if (ws != nullptr) ws->notify();
   }
 
   /// Register `ws` for completion notification. Returns true when the

@@ -61,6 +61,16 @@ Stream::~Stream() {
   if (open_ && !closed_ && writer_ && mpi::Runtime::on_rank_thread() &&
       !mpi::Runtime::self().crashed)
     close();
+  // Reader: receives may still be posted (e.g. after a kEpipe teardown);
+  // a late writer completion must not notify the waitset_ we are about
+  // to destroy.
+  if (!writer_) disarm_receives();
+}
+
+void Stream::disarm_receives() {
+  for (auto& ip : in_peers_)
+    for (auto& slot : ip.slots)
+      if (slot.req) slot.req->disarm_waitset(&waitset_);
 }
 
 std::uint64_t Stream::frame_bytes() const noexcept {
@@ -375,14 +385,32 @@ int Stream::read(void* buf, int nblocks, int flags) {
     // Wait (real time) until any head request completes, without
     // consuming it: the rescan via try_read_block does the consuming so
     // per-peer FIFO order and clock accounting stay in one place. The
-    // stream-owned WaitSet outlives every posted receive, so no disarm
-    // is needed. The wait is bounded: every dead_poll_us we re-check for
-    // writers that died without a goodbye.
+    // stream-owned WaitSet is detached from any still-posted receive at
+    // close/destruction (disarm_receives), so late completions can never
+    // notify a dead stream. The wait is bounded: every dead_poll_us we
+    // re-check for writers that died without a goodbye.
     const std::uint64_t ticket = waitset_.snapshot();
     bool ready = false;
     for (auto& h : heads)
       if (h->arm_waitset(&waitset_)) ready = true;
     if (!ready && !waitset_.wait_change_for(ticket, poll)) scan_silent_dead();
+  }
+  return got;
+}
+
+int Stream::read_some(std::vector<BufferRef>& out, int max_blocks,
+                      int flags) {
+  int got = 0;
+  while (got < max_blocks) {
+    auto block = Buffer::make(cfg_.block_size);
+    const int r = read(block->data(), 1, got == 0 ? flags : kNonblock);
+    if (r != 1) {
+      // Terminal codes (0 / kEpipe) recur on the next call; a burst that
+      // ended early just reports what it drained.
+      return got > 0 ? got : r;
+    }
+    out.push_back(std::move(block));
+    ++got;
   }
   return got;
 }
@@ -415,7 +443,10 @@ void Stream::close() {
   } else {
     // Drain and cancel nothing: posted receives for already-closed peers
     // were never reposted; outstanding ones are simply dropped with the
-    // stream (their buffers are owned by the slots).
+    // stream (their buffers are owned by the slots). Detach them from
+    // waitset_ now so a late writer completion cannot notify a stream
+    // that is logically gone.
+    disarm_receives();
   }
 }
 

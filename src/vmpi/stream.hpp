@@ -130,6 +130,16 @@ class Stream {
   /// or kEpipe (no data can ever arrive and >= 1 writer died uncleanly).
   int read(void* buf, int nblocks, int flags = 0);
 
+  /// Batched read: up to `max_blocks` blocks, each into its own freshly
+  /// allocated ref-counted buffer appended to `out` (ready to move onto
+  /// the blackboard without a copy). The first block honours the blocking
+  /// mode in `flags`; further blocks are taken opportunistically
+  /// (non-blocking), so a burst of queued blocks drains in one call but
+  /// the call never waits for more than one. Returns the number of blocks
+  /// appended (> 0), or read()'s terminal codes (0 / kEagain / kEpipe)
+  /// when nothing was appended.
+  int read_some(std::vector<BufferRef>& out, int max_blocks, int flags = 0);
+
   /// Flush outstanding writes and send end-of-stream to every endpoint.
   /// Idempotent: second and later calls are no-ops.
   void close();
@@ -179,6 +189,9 @@ class Stream {
   /// Declare writers that finished without end-of-stream dead. Returns
   /// true when at least one peer changed state.
   bool scan_silent_dead();
+  /// Detach waitset_ from every still-posted receive so a late writer
+  /// completion cannot notify it after the stream is destroyed.
+  void disarm_receives();
   std::uint64_t frame_bytes() const noexcept;
 
   StreamConfig cfg_;

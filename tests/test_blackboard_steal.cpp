@@ -1,0 +1,262 @@
+/// \file test_blackboard_steal.cpp
+/// \brief The work-stealing scheduler's correctness envelope: stealing
+/// under skewed producers, drain() with concurrent stealers, quarantine
+/// on stolen jobs, batched submission semantics, config validation, and
+/// same-seed determinism of the fault-injection ledger on top of the new
+/// scheduler.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "blackboard/blackboard.hpp"
+#include "core/session.hpp"
+
+namespace esp::bb {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BlackboardConfigValidation, NonPositiveGeometryThrows) {
+  EXPECT_THROW(Blackboard({.workers = 0}), std::invalid_argument);
+  EXPECT_THROW(Blackboard({.workers = -3}), std::invalid_argument);
+  EXPECT_THROW(Blackboard({.fifo_count = 0}), std::invalid_argument);
+  EXPECT_THROW(Blackboard({.fifo_count = -1}), std::invalid_argument);
+  EXPECT_THROW(Blackboard({.quarantine_threshold = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(Blackboard({.index_shards = 0}), std::invalid_argument);
+}
+
+/// All jobs land on one worker's deque (submitted from inside its own
+/// operation) while that worker stays blocked: every completion must come
+/// from a steal.
+TEST(BlackboardSteal, SkewedProducerIsDrainedByThieves) {
+  Blackboard board({.workers = 2});
+  constexpr int kJobs = 200;
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  const TypeId seed = type_id("seed"), work = type_id("work");
+  board.register_ks({"consume", {work}, [&](Blackboard&, auto) {
+                       if (done.fetch_add(1) + 1 == kJobs) {
+                         std::lock_guard lock(mu);
+                         cv.notify_all();
+                       }
+                     }});
+  board.register_ks(
+      {"skewed-producer", {seed}, [&](Blackboard& b, auto) {
+         // Each push lands on this worker's own deque, lock-free. Then
+         // block: only the other worker's steals can finish the jobs.
+         for (int i = 0; i < kJobs; ++i) b.push(DataEntry::of(work, i));
+         std::unique_lock lock(mu);
+         EXPECT_TRUE(cv.wait_for(lock, 30s,
+                                 [&] { return done.load() == kJobs; }))
+             << "stuck: thieves never drained the blocked worker's deque";
+       }});
+  board.push(DataEntry::of(seed, 0));
+  board.drain();
+  EXPECT_EQ(done.load(), kJobs);
+  EXPECT_GE(board.stats().jobs_stolen, static_cast<std::uint64_t>(kJobs))
+      << "every work job must have been stolen from the blocked owner";
+}
+
+/// drain() returns only once concurrent stealers finished everything,
+/// under producers hammering from several threads at once.
+TEST(BlackboardSteal, DrainWithConcurrentStealersIsExact) {
+  Blackboard board({.workers = 4, .fifo_count = 4});
+  std::atomic<std::int64_t> sum{0};
+  const TypeId t = type_id("n");
+  board.register_ks({"sum", {t}, [&](Blackboard& b, auto entries) {
+                       const int v = entries[0].template as<int>();
+                       sum.fetch_add(v);
+                       // Chain one follow-up per even entry so deques and
+                       // injection FIFOs are busy at the same time.
+                       if (v >= 0 && v % 2 == 0)
+                         b.push(DataEntry::of(t, -1));
+                     }});
+  constexpr int kThreads = 4, kPer = 3000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kThreads; ++p)
+    producers.emplace_back([&] {
+      std::vector<DataEntry> batch;
+      for (int i = 0; i < kPer; ++i) {
+        batch.push_back(DataEntry::of(t, i));
+        if (batch.size() == 32 || i + 1 == kPer) {
+          board.submit_batch(batch);
+          batch.clear();
+        }
+      }
+    });
+  for (auto& th : producers) th.join();
+  board.drain();
+  // Per producer: sum 0..kPer-1, plus -1 per even entry.
+  const std::int64_t per =
+      static_cast<std::int64_t>(kPer) * (kPer - 1) / 2 - (kPer + 1) / 2;
+  EXPECT_EQ(sum.load(), kThreads * per);
+  EXPECT_EQ(board.stats().jobs_executed,
+            static_cast<std::uint64_t>(kThreads) * (kPer + (kPer + 1) / 2));
+}
+
+/// The quarantine streak must hold when the failing jobs execute on a
+/// thief, not on the worker that owned the deque.
+TEST(BlackboardSteal, QuarantineStreakEnforcedOnStolenJobs) {
+  Blackboard board({.workers = 2, .quarantine_threshold = 2});
+  std::atomic<int> bad_calls{0};
+  const TypeId seed = type_id("seed"), poison = type_id("poison");
+  board.register_ks({"always-throws", {poison}, [&](Blackboard&, auto) {
+                       bad_calls.fetch_add(1);
+                       throw std::logic_error("broken KS");
+                     }});
+  board.register_ks(
+      {"blocked-producer", {seed}, [&](Blackboard& b, auto) {
+         // Poison jobs pile onto this worker's deque; it then blocks
+         // until the *other* worker has stolen and failed them both and
+         // the quarantine fired.
+         for (int i = 0; i < 2; ++i) b.push(DataEntry::of(poison, i));
+         const auto deadline = std::chrono::steady_clock::now() + 30s;
+         while (b.stats().ks_quarantined < 1) {
+           ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+               << "quarantine never fired on stolen jobs";
+           std::this_thread::sleep_for(1ms);
+         }
+       }});
+  board.push(DataEntry::of(seed, 0));
+  board.drain();
+  const auto stats = board.stats();
+  EXPECT_EQ(bad_calls.load(), 2);
+  EXPECT_EQ(stats.jobs_failed, 2u);
+  EXPECT_EQ(stats.ks_quarantined, 1u);
+  EXPECT_GE(stats.jobs_stolen, 2u);
+}
+
+/// submit_batch preserves per-type FIFO pairing and multi-sensitivity
+/// join semantics exactly as the equivalent push() sequence would.
+TEST(BlackboardBatch, BatchPreservesJoinOrderAcrossMixedTypes) {
+  Blackboard board({.workers = 2});
+  std::atomic<int> fires{0};
+  std::atomic<int> first_pair_sum{0};
+  const TypeId a = type_id("A"), b = type_id("B");
+  board.register_ks({"join", {a, b}, [&](Blackboard&, auto entries) {
+                       if (fires.fetch_add(1) == 0)
+                         first_pair_sum.store(
+                             entries[0].template as<int>() +
+                             entries[1].template as<int>());
+                     }});
+  // One batch interleaving types: A1 B10 A2 B20 A3 -> pairs (1,10), (2,20).
+  std::vector<DataEntry> batch;
+  batch.push_back(DataEntry::of(a, 1));
+  batch.push_back(DataEntry::of(b, 10));
+  batch.push_back(DataEntry::of(a, 2));
+  batch.push_back(DataEntry::of(b, 20));
+  batch.push_back(DataEntry::of(a, 3));
+  board.submit_batch(batch);
+  board.drain();
+  EXPECT_EQ(fires.load(), 2);
+  EXPECT_EQ(first_pair_sum.load(), 11) << "FIFO pairing across the batch";
+  EXPECT_EQ(board.stats().entries_pushed, 5u);
+  EXPECT_EQ(board.stats().batches_submitted, 1u);
+}
+
+TEST(BlackboardBatch, EmptyBatchIsANoOp) {
+  Blackboard board({.workers = 1});
+  board.submit_batch({});
+  board.drain();
+  EXPECT_EQ(board.stats().entries_pushed, 0u);
+  EXPECT_EQ(board.stats().batches_submitted, 0u);
+}
+
+/// The paper-faithful locked-FIFO scheduler stays available and exact
+/// (it backs the ablation benchmarks).
+TEST(BlackboardLegacy, LockedFifoSchedulerCountsAreExact) {
+  Blackboard board({.workers = 4,
+                    .fifo_count = 8,
+                    .scheduler = SchedulerMode::LockedFifos});
+  std::atomic<std::int64_t> sum{0};
+  const TypeId t = type_id("n");
+  board.register_ks({"sum", {t}, [&](Blackboard&, auto entries) {
+                       sum.fetch_add(entries[0].template as<int>());
+                     }});
+  constexpr int kN = 5000;
+  std::vector<DataEntry> batch;
+  for (int i = 0; i < kN; ++i) {
+    batch.push_back(DataEntry::of(t, i));
+    if (batch.size() == 64 || i + 1 == kN) {
+      board.submit_batch(batch);
+      batch.clear();
+    }
+  }
+  board.drain();
+  EXPECT_EQ(sum.load(), static_cast<std::int64_t>(kN) * (kN - 1) / 2);
+  EXPECT_EQ(board.stats().jobs_executed, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(board.stats().jobs_stolen, 0u) << "no deques in legacy mode";
+}
+
+// ---------------------------------------------------------------------------
+// Same-seed determinism of the fault ledger on the new scheduler: the
+// scheduler decides *where* analysis jobs run, which must not leak into
+// the virtual-time fault schedule or the data-loss accounting.
+// ---------------------------------------------------------------------------
+
+struct LedgerSnapshot {
+  std::vector<int> dead_world;
+  std::uint64_t lost = 0, corrupted = 0, dropped_estimate = 0;
+  std::uint64_t analysed_events = 0;
+};
+
+LedgerSnapshot run_faulty_session(std::uint64_t seed) {
+  SessionConfig cfg;
+  cfg.instrument.block_size = 4096;
+  cfg.runtime.seed = seed;
+  cfg.analyzer.board.workers = 4;  // plenty of stealing on a small host
+  cfg.analyzer.read_batch = 8;
+  cfg.faults.crashes.push_back({.world_rank = 2, .after_calls = 120});
+  cfg.faults.links.push_back(
+      {.drop_probability = 0.15, .corrupt_probability = 0.2});
+  Session session(cfg);
+  const int app = session.add_application(
+      "ring", 4, [](mpi::ProcEnv& env) {
+        // Distinct buffers: the irecv target may be written by the peer at
+        // any point until wait(), so it must not double as the send source.
+        std::vector<std::byte> rbuf(1024), sbuf(1024);
+        const int n = env.world.size();
+        for (int i = 0; i < 250; ++i) {
+          mpi::compute(5e-5);
+          mpi::Request r = env.world.irecv(rbuf.data(), rbuf.size(),
+                                           (env.world_rank + n - 1) % n, 0);
+          env.world.send(sbuf.data(), sbuf.size(), (env.world_rank + 1) % n, 0);
+          mpi::wait(r);
+        }
+      });
+  auto results = session.run();
+  const an::AppResults* r = results->find(app);
+  LedgerSnapshot s;
+  s.dead_world = results->health.dead_world_ranks;
+  if (r != nullptr) {
+    s.lost = r->loss.blocks_lost;
+    s.corrupted = r->loss.blocks_corrupted;
+    s.dropped_estimate = r->loss.events_dropped_estimate;
+    s.analysed_events = r->total_events;
+  }
+  return s;
+}
+
+TEST(BlackboardSteal, SameSeedLedgerIsDeterministicUnderStealing) {
+  const LedgerSnapshot a = run_faulty_session(11);
+  const LedgerSnapshot b = run_faulty_session(11);
+  EXPECT_EQ(a.dead_world, b.dead_world);
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_EQ(a.corrupted, b.corrupted);
+  EXPECT_EQ(a.dropped_estimate, b.dropped_estimate);
+  EXPECT_EQ(a.analysed_events, b.analysed_events);
+  ASSERT_EQ(a.dead_world, (std::vector<int>{2}));
+  EXPECT_GT(a.lost + a.corrupted, 0u);
+}
+
+}  // namespace
+}  // namespace esp::bb

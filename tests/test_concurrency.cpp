@@ -101,12 +101,14 @@ TEST(FullStack, ThreeConcurrentAppsStress) {
 
   auto ring = [](int iters, std::uint64_t bytes) {
     return [iters, bytes](mpi::ProcEnv& env) {
-      std::vector<std::byte> buf(bytes);
+      // Distinct buffers: the irecv target may be written by the peer at
+      // any point until wait(), so it must not double as the send source.
+      std::vector<std::byte> rbuf(bytes), sbuf(bytes);
       const int n = env.world.size();
       for (int i = 0; i < iters; ++i) {
-        mpi::Request r = env.world.irecv(buf.data(), bytes,
+        mpi::Request r = env.world.irecv(rbuf.data(), bytes,
                                          (env.world_rank + n - 1) % n, 0);
-        env.world.send(buf.data(), bytes, (env.world_rank + 1) % n, 0);
+        env.world.send(sbuf.data(), bytes, (env.world_rank + 1) % n, 0);
         mpi::wait(r);
       }
     };

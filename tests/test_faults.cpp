@@ -22,13 +22,15 @@ namespace {
 /// terminates even with crashed neighbours.
 mpi::ProgramMain ring(int iters) {
   return [iters](mpi::ProcEnv& env) {
-    std::vector<std::byte> buf(1024);
+    // Distinct buffers: the irecv target may be written by the peer at any
+    // point until wait(), so it must not double as the send source.
+    std::vector<std::byte> rbuf(1024), sbuf(1024);
     const int n = env.world.size();
     for (int i = 0; i < iters; ++i) {
       mpi::compute(5e-5);
-      mpi::Request r = env.world.irecv(buf.data(), buf.size(),
+      mpi::Request r = env.world.irecv(rbuf.data(), rbuf.size(),
                                        (env.world_rank + n - 1) % n, 0);
-      env.world.send(buf.data(), buf.size(), (env.world_rank + 1) % n, 0);
+      env.world.send(sbuf.data(), sbuf.size(), (env.world_rank + 1) % n, 0);
       mpi::wait(r);
     }
   };

@@ -1,8 +1,26 @@
 #!/usr/bin/env bash
 # Full pre-merge check: build and test the default configuration, then the
-# ASan+UBSan configuration (-DESP_SANITIZE=ON). Fault-injection tests must
-# pass under both. Run from anywhere; builds live in build/ and
-# build-sanitize/ at the repo root.
+# ASan+UBSan configuration (-DESP_SANITIZE=ON), then run the blackboard
+# contention sweep and its regression gate. Fault-injection tests must
+# pass under both build configs. Run from anywhere; builds live in build/
+# and build-sanitize/ at the repo root.
+#
+# Bench-gate knobs (mirrored by .github/workflows/ci.yml):
+#   ESP_BB_BENCH_JSON   output path for the sweep results
+#                       (set automatically below; this is what switches the
+#                       binary from google-benchmark mode to the quick sweep)
+#   ESP_BB_BASELINE     checked-in baseline to compare against
+#                       (default here: bench/BENCH_blackboard.baseline.json)
+#   ESP_BB_MIN_SPEEDUP  hard floor on work-stealing speedup over the paper's
+#                       locked-FIFO scheduler at 8 workers / 4 producers /
+#                       batch 64, measured same-host same-run (default 1.2;
+#                       the gate FAILS below this)
+#   ESP_BB_MAX_DROP     per-cell tolerated drop vs the baseline, as a
+#                       fraction (default 0.20 = 20%)
+#   ESP_BB_GATE         "warn" (default) or "fail": whether a baseline drop
+#                       beyond ESP_BB_MAX_DROP is fatal. Keep "warn" on
+#                       shared/noisy hosts; use "fail" on a dedicated runner.
+#   ESP_BB_JOBS         jobs per sweep cell (default 120000; lower = faster)
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -20,5 +38,10 @@ run_config() {
 
 run_config build
 run_config build-sanitize -DESP_SANITIZE=ON
+
+echo "=== blackboard contention sweep + regression gate ==="
+ESP_BB_BENCH_JSON="${ESP_BB_BENCH_JSON:-$repo/BENCH_blackboard.json}" \
+ESP_BB_BASELINE="${ESP_BB_BASELINE:-$repo/bench/BENCH_blackboard.baseline.json}" \
+  "$repo/build/bench/ablation_blackboard"
 
 echo "=== all checks passed ==="
