@@ -1,0 +1,91 @@
+/// \file ablation_obs.cpp
+/// \brief Overhead ablation for the self-observability layer (src/obs/):
+/// the cost of the disabled fast path (one relaxed load + branch), a
+/// counter add, a histogram observe, a trace span emit, and counter adds
+/// under thread contention (the sharded-slot design point). DESIGN.md's
+/// "Observability" overhead bound quotes these numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace esp;
+
+/// The cost every instrumented call site pays when observability is off:
+/// a relaxed atomic load and a never-taken branch.
+void BM_DisabledCheck(benchmark::State& state) {
+  obs::set_enabled(false, false);
+  auto& c = obs::counter("bench.off");
+  std::uint64_t side = 0;
+  for (auto _ : state) {
+    if (obs::enabled()) c.add(1);
+    benchmark::DoNotOptimize(side += 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DisabledCheck);
+
+/// The hot path with metrics on: enabled() check + one relaxed fetch_add
+/// on a per-thread-sharded slot.
+void BM_CounterAdd(benchmark::State& state) {
+  obs::set_enabled(true, false);
+  auto& c = obs::counter("bench.on");
+  for (auto _ : state) {
+    if (obs::enabled()) c.add(1);
+  }
+  obs::set_enabled(false, false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+/// Histogram observe: bucket index (clz) + two relaxed adds.
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::set_enabled(true, false);
+  auto& h = obs::histogram("bench.histo");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    if (obs::enabled()) h.observe(v);
+    v = v * 2 + 1;
+    if (v > (1ull << 40)) v = 1;
+  }
+  obs::set_enabled(false, false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
+
+/// Span emit with tracing on: one ring-buffer slot claim + field stores.
+/// This is the most expensive hook, paid only under ESP_OBS_TRACE=1.
+void BM_SpanEmit(benchmark::State& state) {
+  obs::set_enabled(true, true);
+  double t = 0.0;
+  for (auto _ : state) {
+    obs::trace_span("bench", "bench.span", t, t + 1e-6, 42, "bytes");
+    t += 2e-6;
+  }
+  obs::set_enabled(false, false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEmit);
+
+/// Counter adds from many threads at once: the sharded slots keep this
+/// near the single-thread cost instead of collapsing onto one cacheline.
+void BM_CounterAddContended(benchmark::State& state) {
+  if (state.thread_index() == 0) obs::set_enabled(true, false);
+  auto& c = obs::counter("bench.contended");
+  for (auto _ : state) {
+    c.add(1);
+  }
+  if (state.thread_index() == 0) obs::set_enabled(false, false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAddContended)->Threads(1)->Threads(4)->Threads(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -39,9 +39,13 @@ struct Reader {
   }
 };
 
+/// Blob version tag; bumped whenever the reduction wire format changes
+/// ("ESP4" added the per-app telemetry counters).
+constexpr std::uint32_t kBlobTag = 0x45535034;
+
 std::vector<std::byte> serialize(const AppResults& a) {
   Writer w;
-  w.put(static_cast<std::uint32_t>(0x45535033));  // blob version tag
+  w.put(kBlobTag);
   w.put(a.total_events);
   w.put(a.last_event_time);
   for (const auto& ks : a.per_kind) {
@@ -81,6 +85,9 @@ std::vector<std::byte> serialize(const AppResults& a) {
   w.put(a.loss.events_dropped_estimate);
   w.put(static_cast<std::uint64_t>(a.loss.dead_ranks.size()));
   for (int r : a.loss.dead_ranks) w.put(static_cast<std::int32_t>(r));
+  // Per-app transport telemetry.
+  w.put(a.telemetry.stream_blocks);
+  w.put(a.telemetry.stream_bytes);
   return std::move(w.out);
 }
 
@@ -91,7 +98,7 @@ void merge_dead_ranks(std::vector<int>& into, int rank) {
 
 void merge_serialized(AppResults& out, const std::vector<std::byte>& blob) {
   Reader r{blob.data(), blob.data() + blob.size()};
-  if (r.get<std::uint32_t>() != 0x45535033) return;  // unknown blob
+  if (r.get<std::uint32_t>() != kBlobTag) return;  // unknown blob
   out.total_events += r.get<std::uint64_t>();
   out.last_event_time = std::max(out.last_event_time, r.get<double>());
   for (auto& ks : out.per_kind) {
@@ -141,6 +148,9 @@ void merge_serialized(AppResults& out, const std::vector<std::byte>& blob) {
   const auto n_dead = r.get<std::uint64_t>();
   for (std::uint64_t i = 0; i < n_dead; ++i)
     merge_dead_ranks(out.loss.dead_ranks, r.get<std::int32_t>());
+  // Per-app transport telemetry.
+  out.telemetry.stream_blocks += r.get<std::uint64_t>();
+  out.telemetry.stream_bytes += r.get<std::uint64_t>();
 }
 
 }  // namespace
@@ -192,7 +202,12 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
   const std::uint64_t block_size = stream.block_size();
   const double per_event =
       cfg.per_event_cost / static_cast<double>(cfg.board.workers);
-  const int read_batch = std::max(1, cfg.read_batch);
+  // read_some() rejects a non-positive budget with std::logic_error;
+  // validate the knob here so the error names the misconfigured field
+  // instead of silently clamping ("batch of 0" used to be read as 1).
+  if (cfg.read_batch <= 0)
+    throw std::invalid_argument("AnalyzerConfig::read_batch must be > 0");
+  const int read_batch = cfg.read_batch;
   std::vector<BufferRef> blocks;
   std::vector<bb::DataEntry> batch;
   blocks.reserve(static_cast<std::size_t>(read_batch));
@@ -221,6 +236,7 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
   std::map<int, LossLedger> local_loss;
   const std::uint64_t pack_events =
       inst::pack_capacity(block_size);
+  std::map<int, AppTelemetry> local_telemetry;
   for (const auto& ps : stream.peer_stats()) {
     const auto& part = rt.partition_of_world(ps.universe_rank);
     auto& ledger = local_loss[part.id];
@@ -232,6 +248,9 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
     if (ps.dead)
       merge_dead_ranks(ledger.dead_ranks,
                        ps.universe_rank - part.first_world_rank);
+    auto& tel = local_telemetry[part.id];
+    tel.stream_blocks += ps.blocks_delivered;
+    tel.stream_bytes += ps.bytes_delivered;
   }
 
   // Reduce per-application partials onto analyzer rank 0.
@@ -250,6 +269,9 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
     if (cfg.enable_wait_states) waits.merge_into(local, lvl.app_id);
     if (auto it = local_loss.find(lvl.app_id); it != local_loss.end())
       local.loss = it->second;
+    if (auto it = local_telemetry.find(lvl.app_id);
+        it != local_telemetry.end())
+      local.telemetry = it->second;
     for (auto& v : local.density)
       if (v.size() < static_cast<std::size_t>(lvl.size))
         v.resize(static_cast<std::size_t>(lvl.size), 0.0);
@@ -275,10 +297,15 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
     merged_apps[lvl.app_id] = std::move(merged);
   }
 
-  // Session-health reduction: explicit point-to-point (not a collective —
-  // collectives would deadlock on a dead analyzer rank).
+  // Session-health + engine-telemetry reduction: explicit point-to-point
+  // (not a collective — collectives would deadlock on a dead analyzer
+  // rank).
   const auto bstats = board.stats();
-  std::uint64_t health[2] = {bstats.jobs_failed, bstats.ks_quarantined};
+  const auto sstats = stream.stats();
+  std::uint64_t health[8] = {
+      bstats.jobs_failed,   bstats.ks_quarantined, bstats.jobs_executed,
+      bstats.jobs_stolen,   bstats.batches_submitted, sstats.blocks_read,
+      sstats.bytes_read,    sstats.eagain_returns};
   if (arank != 0) {
     world.psend(health, sizeof health, 0, kReduceTag + 1);
     return;
@@ -286,14 +313,26 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
   SessionHealth session_health;
   session_health.jobs_failed = health[0];
   session_health.ks_quarantined = health[1];
+  session_health.telemetry.jobs_executed = health[2];
+  session_health.telemetry.jobs_stolen = health[3];
+  session_health.telemetry.batches_submitted = health[4];
+  session_health.telemetry.blocks_read = health[5];
+  session_health.telemetry.bytes_read = health[6];
+  session_health.telemetry.eagain_returns = health[7];
   for (int src = 1; src < world.size(); ++src) {
-    std::uint64_t h[2] = {0, 0};
+    std::uint64_t h[8] = {};
     if (world.precv(h, sizeof h, src, kReduceTag + 1).error != 0) {
       merge_dead_ranks(session_health.dead_analyzer_ranks, src);
       continue;
     }
     session_health.jobs_failed += h[0];
     session_health.ks_quarantined += h[1];
+    session_health.telemetry.jobs_executed += h[2];
+    session_health.telemetry.jobs_stolen += h[3];
+    session_health.telemetry.batches_submitted += h[4];
+    session_health.telemetry.blocks_read += h[5];
+    session_health.telemetry.bytes_read += h[6];
+    session_health.telemetry.eagain_returns += h[7];
   }
   // Crashed ranks, from the runtime's authoritative records: every app
   // rank died (if at all) before its stream drained, so the list is

@@ -102,6 +102,15 @@ struct LossLedger {
   }
 };
 
+/// Transport-side telemetry for one application: how much event traffic
+/// its stream links actually carried into the analyzer. Folded into the
+/// report chapter so per-app numbers can be sanity-checked against the
+/// loss ledger.
+struct AppTelemetry {
+  std::uint64_t stream_blocks = 0;  ///< Blocks delivered over app links.
+  std::uint64_t stream_bytes = 0;   ///< Payload bytes delivered.
+};
+
 /// Everything the analyzer learned about one application.
 struct AppResults {
   int app_id = -1;
@@ -125,6 +134,9 @@ struct AppResults {
   /// What never made it into the numbers above.
   LossLedger loss;
 
+  /// How the transport behaved while carrying it.
+  AppTelemetry telemetry;
+
   static std::uint64_t comm_key(std::int32_t src, std::int32_t dst) noexcept {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
            static_cast<std::uint32_t>(dst);
@@ -137,6 +149,17 @@ struct AppResults {
   }
 };
 
+/// Whole-session engine telemetry, reduced over every analyzer rank:
+/// how hard the measurement machinery itself worked.
+struct SessionTelemetry {
+  std::uint64_t jobs_executed = 0;      ///< Blackboard operation invocations.
+  std::uint64_t jobs_stolen = 0;        ///< Jobs migrated between workers.
+  std::uint64_t batches_submitted = 0;  ///< Blackboard submission batches.
+  std::uint64_t blocks_read = 0;        ///< Stream blocks drained.
+  std::uint64_t bytes_read = 0;         ///< Stream payload bytes drained.
+  std::uint64_t eagain_returns = 0;     ///< Empty non-blocking stream polls.
+};
+
 /// Whole-session degradation summary: did the measurement infrastructure
 /// itself take damage, and is the report to be trusted?
 struct SessionHealth {
@@ -144,6 +167,7 @@ struct SessionHealth {
   std::uint64_t ks_quarantined = 0;  ///< Knowledge sources removed for it.
   std::vector<int> dead_world_ranks;     ///< Every crashed rank (world ids).
   std::vector<int> dead_analyzer_ranks;  ///< Analyzer partition ranks lost.
+  SessionTelemetry telemetry;
 
   bool degraded() const noexcept {
     return jobs_failed != 0 || ks_quarantined != 0 ||

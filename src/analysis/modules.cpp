@@ -2,11 +2,30 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
 namespace esp::an {
 
 using inst::Event;
 using inst::EventKind;
 using inst::PackView;
+
+namespace {
+
+struct AnObs {
+  obs::Counter& packs = obs::counter("an.packs_unpacked");
+  obs::Counter& events = obs::counter("an.events_unpacked");
+  obs::Counter& malformed = obs::counter("an.packs_malformed");
+};
+
+AnObs& aobs() {
+  static AnObs o;
+  return o;
+}
+
+}  // namespace
 
 const char* kind_slot_name(std::size_t slot) noexcept {
   if (slot < kMpiKinds)
@@ -62,8 +81,13 @@ void register_unpacker(bb::Blackboard& board, const AppLevel& level) {
        [out_mpi, out_posix](bb::Blackboard& b,
                             std::span<const bb::DataEntry> entries) {
          const auto& e = entries[0];
+         const bool obs_on = obs::enabled();
+         const double t_begin = obs_on ? obs::real_now() : 0.0;
          PackView v = PackView::parse(e.payload->data(), e.payload->size());
-         if (!v.valid()) return;
+         if (!v.valid()) {
+           if (obs_on) aobs().malformed.add(1);
+           return;
+         }
          std::vector<Event> mpi_events, posix_events;
          mpi_events.reserve(v.header->event_count);
          for (const Event& ev : v.span()) {
@@ -84,6 +108,14 @@ void register_unpacker(bb::Blackboard& board, const AppLevel& level) {
          emit(out_mpi, mpi_events);
          emit(out_posix, posix_events);
          b.submit_batch(out);
+         if (obs_on) {
+           auto& o = aobs();
+           o.packs.add(1);
+           o.events.add(v.header->event_count);
+           // Worker-thread track, real time (no virtual clock off-rank).
+           obs::trace_span("an", "an.unpack", t_begin, obs::real_now(),
+                           v.header->event_count, "events");
+         }
        }});
 }
 

@@ -127,6 +127,14 @@ void chapter(std::ofstream& md, const AppResults& app,
        << "/density_" << name << ".ppm)\n";
   }
 
+  if (app.telemetry.stream_blocks != 0) {
+    md << "\n### Transport telemetry\n\n"
+       << "- stream blocks delivered: " << app.telemetry.stream_blocks << "\n"
+       << "- stream payload delivered: "
+       << format_bytes(static_cast<double>(app.telemetry.stream_bytes))
+       << "\n";
+  }
+
   if (!app.loss.clean() || app.loss.blocks_retried != 0) {
     md << "\n### Data loss\n\n"
        << "This chapter is incomplete — the measurement infrastructure "
@@ -179,6 +187,21 @@ bool write_report(const std::string& output_dir,
        << "\n"
        << "- applications with data loss: " << lossy_apps << " of "
        << apps.size() << "\n";
+
+    const auto& tel = health->telemetry;
+    if (tel.jobs_executed != 0 || tel.blocks_read != 0) {
+      md << "\n## Engine telemetry\n\n"
+         << "Reduced over every analyzer rank — how hard the measurement "
+            "machinery worked to produce this report.\n\n"
+         << "- blackboard jobs executed: " << tel.jobs_executed << "\n"
+         << "- jobs migrated between workers (steals): " << tel.jobs_stolen
+         << "\n"
+         << "- submission batches: " << tel.batches_submitted << "\n"
+         << "- stream blocks drained: " << tel.blocks_read << " ("
+         << format_bytes(static_cast<double>(tel.bytes_read)) << ")\n"
+         << "- empty non-blocking stream polls: " << tel.eagain_returns
+         << "\n";
+    }
   }
 
   bool ok = true;

@@ -1,11 +1,31 @@
 #include "blackboard/blackboard.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace esp::bb {
 
 namespace {
+
+/// Registry lookups hoisted out of the job hot path; every use is guarded
+/// by obs::enabled().
+struct BoardObs {
+  obs::Counter& steals = obs::counter("bb.steals");
+  obs::Counter& backoff_waits = obs::counter("bb.backoff_waits");
+  obs::Counter& jobs = obs::counter("bb.jobs_executed");
+  obs::Histogram& batch_size = obs::histogram("bb.batch_size");
+  obs::Histogram& deque_depth = obs::histogram("bb.deque_depth");
+};
+
+BoardObs& bobs() {
+  static BoardObs o;
+  return o;
+}
 
 /// Worker identity of the current thread: lets enqueue_batch route jobs
 /// submitted from inside a KS operation onto that worker's own deque
@@ -29,19 +49,40 @@ Blackboard::Blackboard(BlackboardConfig cfg) : cfg_(cfg) {
     throw std::invalid_argument("BlackboardConfig::workers must be > 0");
   if (cfg_.fifo_count <= 0)
     throw std::invalid_argument("BlackboardConfig::fifo_count must be > 0");
+  if (cfg_.injection_fifos < 0)
+    throw std::invalid_argument(
+        "BlackboardConfig::injection_fifos must be >= 0 (0 = use the "
+        "fifo_count alias)");
   if (cfg_.quarantine_threshold <= 0)
     throw std::invalid_argument(
         "BlackboardConfig::quarantine_threshold must be > 0");
   if (cfg_.index_shards <= 0)
     throw std::invalid_argument("BlackboardConfig::index_shards must be > 0");
 
+  // Alias resolution: the explicit field wins. When both were set to
+  // conflicting values, say so once — silently preferring one would make
+  // the deprecated knob appear to work until the day it doesn't.
+  int fifo_width = cfg_.fifo_count;
+  if (cfg_.injection_fifos > 0) {
+    fifo_width = cfg_.injection_fifos;
+    if (cfg_.fifo_count != BlackboardConfig{}.fifo_count &&
+        cfg_.fifo_count != cfg_.injection_fifos) {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true))
+        std::fprintf(stderr,
+                     "esperf: BlackboardConfig sets both injection_fifos=%d "
+                     "and deprecated fifo_count=%d; using injection_fifos\n",
+                     cfg_.injection_fifos, cfg_.fifo_count);
+    }
+  }
+
   const std::size_t shards =
       round_up_pow2(static_cast<std::size_t>(cfg_.index_shards));
   index_shards_ = std::vector<IndexShard>(shards);
   shard_mask_ = shards - 1;
 
-  fifos_.reserve(static_cast<std::size_t>(cfg_.fifo_count));
-  for (int i = 0; i < cfg_.fifo_count; ++i)
+  fifos_.reserve(static_cast<std::size_t>(fifo_width));
+  for (int i = 0; i < fifo_width; ++i)
     fifos_.push_back(std::make_unique<Fifo>());
 
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
@@ -62,6 +103,9 @@ KsId Blackboard::register_ks(KsSpec spec) {
   ks->operation = std::move(spec.operation);
   for (TypeId t : ks->sensitivities) ks->multiplicity[t] += 1;
 
+  // Count BEFORE the KS becomes visible to remove_ks: a concurrent
+  // stats() reader must never observe ks_removed > ks_registered.
+  ks_registered_.fetch_add(1);
   {
     std::lock_guard lock(registry_mu_);
     ks_by_id_.emplace(ks->id, ks);
@@ -74,7 +118,6 @@ KsId Blackboard::register_ks(KsSpec spec) {
     std::unique_lock lock(sh.mu);
     sh.map[t].push_back(ks);
   }
-  ks_registered_.fetch_add(1);
   return ks->id;
 }
 
@@ -105,8 +148,10 @@ void Blackboard::push(DataEntry entry) { submit_batch({&entry, 1}); }
 
 void Blackboard::submit_batch(std::span<const DataEntry> entries) {
   if (entries.empty()) return;
+  // Superset before subset (see BlackboardStats): entries first.
   entries_pushed_.fetch_add(entries.size());
   batches_submitted_.fetch_add(1);
+  if (obs::enabled()) bobs().batch_size.observe(entries.size());
 
   // Snapshot interested KSs once per distinct type in the batch (under the
   // type's shard lock, shared mode), then group the batch per KS so each
@@ -201,6 +246,7 @@ void Blackboard::enqueue_batch(std::vector<Job*>& jobs) {
     // worker's deque, lock-free; idle workers steal it if this one lags.
     auto& dq = workers_[static_cast<std::size_t>(t_worker.index)]->deque;
     for (Job* j : jobs) dq.push(j);
+    if (obs::enabled()) bobs().deque_depth.observe(dq.size_estimate());
   } else if (cfg_.scheduler == SchedulerMode::WorkStealing) {
     // External producer: one injection-FIFO lock for the whole batch.
     const std::size_t qi =
@@ -252,7 +298,10 @@ Blackboard::Job* Blackboard::next_job(int worker_index, Rng& rng) {
       const std::size_t v = (start + k) % workers_.size();
       if (v == wi) continue;
       if (Job* j = workers_[v]->deque.steal()) {
-        jobs_stolen_.fetch_add(1, std::memory_order_relaxed);
+        // Counted into jobs_stolen_ by execute(), after jobs_executed_,
+        // so the stolen <= executed snapshot invariant holds.
+        j->stolen = true;
+        if (obs::enabled()) bobs().steals.add(1);
         return j;
       }
     }
@@ -261,8 +310,15 @@ Blackboard::Job* Blackboard::next_job(int worker_index, Rng& rng) {
 }
 
 void Blackboard::execute(Job* job) {
+  const bool obs_on = obs::enabled();
+  const double t_begin = obs_on ? obs::real_now() : 0.0;
   const std::size_t arity = std::max<std::size_t>(1, job->arity);
+  std::uint64_t groups = 0;
   for (std::size_t off = 0; off < job->entries.size(); off += arity) {
+    // Superset before subset (see BlackboardStats): executed is counted
+    // before the operation can fail, so failed <= executed always.
+    jobs_executed_.fetch_add(1);
+    ++groups;
     // Liveness is re-checked per group: a quarantine triggered earlier in
     // this very chunk stops the remaining invocations.
     if (job->ks->alive.load(std::memory_order_acquire)) {
@@ -286,7 +342,12 @@ void Blackboard::execute(Job* job) {
         }
       }
     }
-    jobs_executed_.fetch_add(1);
+  }
+  if (job->stolen) jobs_stolen_.fetch_add(1);
+  if (obs_on) {
+    bobs().jobs.add(groups);
+    obs::trace_span("bb", "ks.job", t_begin, obs::real_now(), groups,
+                    "groups");
   }
   delete job;
   if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -297,6 +358,8 @@ void Blackboard::execute(Job* job) {
 
 void Blackboard::worker_loop(int worker_index) {
   t_worker = WorkerTls{this, worker_index};
+  if (obs::enabled())
+    obs::name_current_thread("bb-worker-" + std::to_string(worker_index));
   Rng rng(mix64(0x9e3779b97f4a7c15ull ^
                 static_cast<std::uint64_t>(worker_index + 1)));
   std::chrono::microseconds backoff{1};
@@ -309,8 +372,16 @@ void Blackboard::worker_loop(int worker_index) {
     if (stopping_.load(std::memory_order_acquire)) break;
     // Exponential back-off keeps idle workers from spinning on the locks
     // (and off other workers' deque cache lines).
-    std::unique_lock lock(wake_mu_);
-    wake_cv_.wait_for(lock, backoff);
+    const bool obs_on = obs::enabled();
+    const double t_begin = obs_on ? obs::real_now() : 0.0;
+    {
+      std::unique_lock lock(wake_mu_);
+      wake_cv_.wait_for(lock, backoff);
+    }
+    if (obs_on) {
+      bobs().backoff_waits.add(1);
+      obs::trace_span("bb", "bb.backoff", t_begin, obs::real_now());
+    }
     backoff = std::min(backoff * 2, cfg_.max_backoff);
   }
   t_worker = WorkerTls{};
@@ -351,15 +422,19 @@ void Blackboard::stop() {
 }
 
 BlackboardStats Blackboard::stats() const {
+  // Subset counters are read FIRST (and writers increment the superset
+  // first), so the documented subset relations hold in every snapshot —
+  // see the BlackboardStats comment. All loads are seq_cst: a relaxed
+  // load could be reordered past the matching superset read.
   BlackboardStats s;
-  s.entries_pushed = entries_pushed_.load();
-  s.jobs_executed = jobs_executed_.load();
-  s.ks_registered = ks_registered_.load();
-  s.ks_removed = ks_removed_.load();
+  s.jobs_stolen = jobs_stolen_.load();
   s.jobs_failed = jobs_failed_.load();
   s.ks_quarantined = ks_quarantined_.load();
-  s.jobs_stolen = jobs_stolen_.load();
+  s.ks_removed = ks_removed_.load();
   s.batches_submitted = batches_submitted_.load();
+  s.jobs_executed = jobs_executed_.load();
+  s.ks_registered = ks_registered_.load();
+  s.entries_pushed = entries_pushed_.load();
   return s;
 }
 

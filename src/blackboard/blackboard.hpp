@@ -132,11 +132,16 @@ enum class SchedulerMode {
 
 struct BlackboardConfig {
   int workers = 4;
-  /// Width of the external-submission FIFO array. Deprecated alias: under
-  /// SchedulerMode::LockedFifos this is the paper's job-FIFO array width;
-  /// under WorkStealing it only sizes the injection queues for non-worker
-  /// producers (workers use their own deques).
+  /// DEPRECATED alias for `injection_fifos`, kept so existing call sites
+  /// and knob plumbing keep working. Under SchedulerMode::LockedFifos this
+  /// is the paper's job-FIFO array width; under WorkStealing it only sizes
+  /// the injection queues for non-worker producers (workers use their own
+  /// deques). When `injection_fifos` is set explicitly (> 0), it wins and
+  /// a conflicting `fifo_count` is reported once to stderr.
   int fifo_count = 16;
+  /// Width of the external-submission FIFO array (the non-deprecated
+  /// spelling). 0 means "unset: use fifo_count"; negative throws.
+  int injection_fifos = 0;
   /// Back-off cap for idle workers.
   std::chrono::microseconds max_backoff{2000};
   /// A KS whose operation throws this many times *consecutively* is
@@ -148,6 +153,18 @@ struct BlackboardConfig {
   int index_shards = 16;
 };
 
+/// Engine counters. A snapshot taken by stats() while workers are running
+/// is necessarily a moment-in-time read of independently updated atomics,
+/// but it is never *torn* with respect to the subset relations below: the
+/// writers increment the superset counter before the subset counter and
+/// stats() reads the subset counters first (all with seq_cst ordering), so
+/// every snapshot satisfies
+///   jobs_failed      <= jobs_executed
+///   jobs_stolen      <= jobs_executed
+///   ks_quarantined   <= ks_removed <= ks_registered
+///   batches_submitted <= entries_pushed
+/// (ks_removed <= ks_registered additionally relies on register_ks
+/// counting *before* the KS becomes visible to remove_ks).
 struct BlackboardStats {
   std::uint64_t entries_pushed = 0;
   std::uint64_t jobs_executed = 0;
@@ -201,6 +218,10 @@ class Blackboard {
 
   BlackboardStats stats() const;
   int worker_count() const noexcept { return static_cast<int>(workers_.size()); }
+  /// Effective injection-FIFO array width after alias resolution.
+  int injection_fifo_count() const noexcept {
+    return static_cast<int>(fifos_.size());
+  }
 
  private:
   struct KsState {
@@ -226,6 +247,10 @@ class Blackboard {
     std::shared_ptr<KsState> ks;
     std::vector<DataEntry> entries;  ///< groups * arity entries.
     std::uint32_t arity = 1;         ///< Entries per operation invocation.
+    /// Taken from another worker's deque. Counted into jobs_stolen at
+    /// execution time (not steal time) so jobs_stolen <= jobs_executed
+    /// holds in every stats() snapshot.
+    bool stolen = false;
   };
 
   /// A lock-protected FIFO: the whole scheduler under LockedFifos, the

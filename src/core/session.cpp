@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/io_writers.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
 namespace esp {
 
 Session::Session(SessionConfig cfg) : cfg_(std::move(cfg)) {
@@ -73,6 +78,21 @@ std::shared_ptr<an::AnalysisResults> Session::run() {
     }
     std::sort(results->health.dead_world_ranks.begin(),
               results->health.dead_world_ranks.end());
+  }
+
+  // Self-observability artifacts: metrics.json + trace.json land next to
+  // the report (or in ESP_OBS_DIR). The gauges are set once here — they
+  // summarize whole-run machine utilization, not a hot path.
+  if (obs::enabled()) {
+    obs::gauge("net.total_transfers")
+        .set(static_cast<double>(runtime_->machine().total_transfers()));
+    obs::gauge("net.bisection_busy_s")
+        .set(runtime_->machine().bisection_busy());
+    const std::string dir = obs::artifact_dir(cfg_.output_dir);
+    if (!dir.empty() && ensure_directory(dir)) {
+      obs::write_metrics_json(dir + "/metrics.json");
+      obs::write_trace_json(dir + "/trace.json");
+    }
   }
   return results;
 }

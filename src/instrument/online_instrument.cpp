@@ -3,6 +3,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "vmpi/map.hpp"
 
 namespace esp::inst {
@@ -11,6 +14,17 @@ namespace {
 /// The rank thread's active instrumentation state, for record_posix.
 thread_local void* g_rank_state = nullptr;
 thread_local OnlineInstrument* g_rank_tool = nullptr;
+
+struct InstObs {
+  obs::Counter& events = obs::counter("inst.events");
+  obs::Counter& packs = obs::counter("inst.packs");
+  obs::Counter& bytes = obs::counter("inst.bytes_streamed");
+};
+
+InstObs& iobs() {
+  static InstObs o;
+  return o;
+}
 }  // namespace
 
 const char* event_kind_name(EventKind k) noexcept {
@@ -86,11 +100,14 @@ void OnlineInstrument::append(mpi::RankContext& rc, RankState& st,
   std::memcpy(base + st.count * sizeof(Event), &ev, sizeof(Event));
   ++st.count;
   ++st.events;
+  if (obs::enabled()) iobs().events.add(1);
   if (st.count == st.capacity) flush(rc, st);
 }
 
 void OnlineInstrument::flush(mpi::RankContext& rc, RankState& st) {
   if (st.count == 0 || !st.open) return;
+  const bool obs_on = obs::enabled();
+  const double t_begin = rc.clock;
   PackHeader h;
   h.app_id = static_cast<std::uint32_t>(rc.partition_id);
   h.app_rank = rc.partition_rank;
@@ -100,10 +117,18 @@ void OnlineInstrument::flush(mpi::RankContext& rc, RankState& st) {
   // Full packs ship as whole blocks; the finalize tail ships only its
   // used bytes (a real tool does not pad its last buffer to 1 MB).
   const std::uint64_t used = sizeof(PackHeader) + st.count * sizeof(Event);
+  const std::uint32_t count = st.count;
   st.stream.write_partial(st.pack.data(), used);
   st.bytes_streamed += used;
   st.count = 0;
   ++st.packs;
+  if (obs_on) {
+    auto& o = iobs();
+    o.packs.add(1);
+    o.bytes.add(used);
+    obs::trace_span("inst", "inst.flush", t_begin, rc.clock, count,
+                    "events", used, "bytes");
+  }
 }
 
 void OnlineInstrument::on_call(mpi::RankContext& rc, const mpi::CallInfo& ci) {

@@ -2,7 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
 namespace esp::net {
+
+namespace {
+
+struct NetObs {
+  obs::Counter& transfers = obs::counter("net.transfers");
+  obs::Counter& bytes = obs::counter("net.bytes_transferred");
+  obs::Histogram& lane_wait = obs::histogram("net.lane_wait_us");
+};
+
+NetObs& nobs() {
+  static NetObs o;
+  return o;
+}
+
+/// Queueing delay of a pipelined transfer: completion minus wire latency
+/// minus the no-contention service time, in whole microseconds.
+std::uint64_t wait_us(double start, double done, double latency,
+                      std::uint64_t bytes, double bandwidth) {
+  const double service = static_cast<double>(bytes) / bandwidth;
+  const double wait = done - latency - start - service;
+  return wait > 0 ? static_cast<std::uint64_t>(wait * 1e6) : 0;
+}
+
+}  // namespace
 
 MachineConfig MachineConfig::tera100() {
   MachineConfig c;
@@ -46,8 +74,17 @@ double Machine::transfer(int src_core, int dst_core, std::uint64_t bytes,
   const int dn = node_of(dst_core);
   if (sn == dn) {
     // Intra-node: serialized on the node's memory engine.
-    return nodes_[static_cast<std::size_t>(sn)]->memory.acquire(
-               start + cfg_.memory_latency, bytes);
+    const double done = nodes_[static_cast<std::size_t>(sn)]->memory.acquire(
+        start + cfg_.memory_latency, bytes);
+    if (obs::enabled()) {
+      auto& o = nobs();
+      o.transfers.add(1);
+      o.bytes.add(bytes);
+      o.lane_wait.observe(
+          wait_us(start, done, cfg_.memory_latency, bytes,
+                  cfg_.memory_bandwidth));
+    }
+    return done;
   }
   // Inter-node pipelined model: the three resources operate concurrently;
   // completion is the slowest queue, plus wire latency.
@@ -56,7 +93,20 @@ double Machine::transfer(int src_core, int dst_core, std::uint64_t bytes,
   const double t_rx =
       nodes_[static_cast<std::size_t>(dn)]->rx.acquire(start, bytes);
   const double t_bis = bisection_.acquire(start, bytes);
-  return cfg_.nic_latency + std::max({t_tx, t_rx, t_bis});
+  const double done = cfg_.nic_latency + std::max({t_tx, t_rx, t_bis});
+  if (obs::enabled()) {
+    auto& o = nobs();
+    o.transfers.add(1);
+    o.bytes.add(bytes);
+    const std::uint64_t w =
+        wait_us(start, done, cfg_.nic_latency, bytes, cfg_.nic_bandwidth);
+    o.lane_wait.observe(w);
+    // A queued lane is the interesting case: surface it on the caller's
+    // track (virtual time on rank threads).
+    if (w > 0) obs::trace_span("net", "net.lane_wait", start, done, bytes,
+                               "bytes");
+  }
+  return done;
 }
 
 double Machine::nic_send(int core, std::uint64_t bytes, double start) {

@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
 namespace esp::net {
+
+namespace {
+
+struct FsObs {
+  obs::Counter& meta_ops = obs::counter("net.fs_meta_ops");
+  obs::Histogram& meta_wait = obs::histogram("net.fs_meta_wait_us");
+};
+
+FsObs& fobs() {
+  static FsObs o;
+  return o;
+}
+
+}  // namespace
 
 SimFs::SimFs(Machine& machine, int job_cores, SimFsConfig cfg)
     : machine_(machine), cfg_(cfg), ost_(1.0) {
@@ -17,7 +35,18 @@ SimFs::SimFs(Machine& machine, int job_cores, SimFsConfig cfg)
 }
 
 double SimFs::metadata_op(double start) {
-  return mds_.acquire(start, machine_.config().fs_metadata_op_cost);
+  const double op_cost = machine_.config().fs_metadata_op_cost;
+  const double done = mds_.acquire(start, op_cost);
+  if (obs::enabled()) {
+    auto& o = fobs();
+    o.meta_ops.add(1);
+    // Queueing delay behind other clients of the serialized MDS.
+    const double wait = done - start - op_cost;
+    o.meta_wait.observe(
+        wait > 0 ? static_cast<std::uint64_t>(wait * 1e6) : 0);
+    if (wait > 0) obs::trace_span("net", "net.fs_meta_wait", start, done);
+  }
+  return done;
 }
 
 double SimFs::write(int core, std::uint64_t bytes, double start) {

@@ -1,0 +1,131 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace esp::obs {
+
+namespace detail {
+unsigned assign_thread_slot() noexcept {
+  static std::atomic<unsigned> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+namespace {
+
+/// Name -> instrument. Entries are never erased (call sites cache
+/// references); the map is only locked on lookup, not on the add path.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // never destroyed: refs outlive exit
+  return *r;
+}
+
+template <typename T>
+T& lookup(std::map<std::string, std::unique_ptr<T>, std::less<>>& m,
+          std::string_view name) {
+  auto& reg = registry();
+  std::lock_guard lock(reg.mu);
+  auto it = m.find(name);
+  if (it == m.end())
+    it = m.emplace(std::string(name), std::make_unique<T>()).first;
+  return *it->second;
+}
+
+void json_escape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  return lookup(registry().counters, name);
+}
+Gauge& gauge(std::string_view name) { return lookup(registry().gauges, name); }
+Histogram& histogram(std::string_view name) {
+  return lookup(registry().histograms, name);
+}
+
+std::vector<MetricSample> metrics_snapshot() {
+  auto& reg = registry();
+  std::lock_guard lock(reg.mu);
+  std::vector<MetricSample> out;
+  out.reserve(reg.counters.size() + reg.gauges.size() +
+              reg.histograms.size());
+  for (const auto& [name, c] : reg.counters) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::Counter;
+    s.value = c->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : reg.gauges) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::Gauge;
+    s.dvalue = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : reg.histograms) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::Histogram;
+    s.value = h->count();
+    s.sum = h->sum();
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+      if (h->bucket(i) != 0) top = i + 1;
+    s.buckets.reserve(top);
+    for (std::size_t i = 0; i < top; ++i) s.buckets.push_back(h->bucket(i));
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return out;
+}
+
+bool write_metrics_json(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << "{\"metrics\":[";
+  bool first = true;
+  for (const auto& m : metrics_snapshot()) {
+    if (!first) f << ",";
+    first = false;
+    std::string name;
+    json_escape(name, m.name);
+    f << "\n  {\"name\":\"" << name << "\",";
+    switch (m.kind) {
+      case MetricSample::Kind::Counter:
+        f << "\"type\":\"counter\",\"value\":" << m.value << "}";
+        break;
+      case MetricSample::Kind::Gauge:
+        f << "\"type\":\"gauge\",\"value\":" << m.dvalue << "}";
+        break;
+      case MetricSample::Kind::Histogram:
+        f << "\"type\":\"histogram\",\"count\":" << m.value
+          << ",\"sum\":" << m.sum << ",\"buckets\":[";
+        for (std::size_t i = 0; i < m.buckets.size(); ++i)
+          f << (i != 0 ? "," : "") << m.buckets[i];
+        f << "]}";
+        break;
+    }
+  }
+  f << "\n]}\n";
+  return static_cast<bool>(f);
+}
+
+}  // namespace esp::obs

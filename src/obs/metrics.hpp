@@ -1,0 +1,128 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Low-overhead metrics registry: counters, gauges, histograms.
+///
+/// Hot-path budget: one relaxed atomic add. Counters spread their state
+/// over cache-line-padded per-thread slots (indexed by a thread-local slot
+/// id) so concurrent writers never share a line; value() aggregates on
+/// snapshot. Instances are registered by name and never destroyed, so call
+/// sites may cache references:
+///
+///   static obs::Counter& c = obs::counter("stream.blocks_written");
+///   if (obs::enabled()) c.add(1);
+///
+/// Histograms use power-of-two buckets over unsigned values (bucket i
+/// holds values in [2^(i-1), 2^i)), which is enough resolution for queue
+/// depths, batch sizes and wait micro-times while staying a single
+/// relaxed add per observation.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esp::obs {
+
+namespace detail {
+/// Stable per-thread slot index (assigned once per thread, round-robin).
+unsigned assign_thread_slot() noexcept;
+inline unsigned thread_slot() noexcept {
+  static thread_local const unsigned slot = assign_thread_slot();
+  return slot;
+}
+}  // namespace detail
+
+inline constexpr std::size_t kCounterSlots = 16;
+
+/// Monotone counter, sharded per thread.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    slots_[detail::thread_slot() % kCounterSlots].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : slots_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Slot, kCounterSlots> slots_{};
+};
+
+/// Last-writer-wins double value with an accumulate mode (C++20 atomic
+/// floating add). Used for derived quantities (utilization, wait seconds).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double v) noexcept { v_.fetch_add(v, std::memory_order_relaxed); }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+inline constexpr std::size_t kHistogramBuckets = 65;  ///< 0, then 2^0..2^63.
+
+/// Power-of-two histogram over unsigned values.
+class Histogram {
+ public:
+  void observe(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+    return n;
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_of(std::uint64_t v) noexcept {
+    std::size_t b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b;  // 0 -> bucket 0; [2^(i-1), 2^i) -> bucket i
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Look up (or create) a named instrument. References stay valid for the
+/// process lifetime. Names should be dotted lowercase ("stream.bytes").
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+/// One row of a metrics snapshot.
+struct MetricSample {
+  std::string name;
+  enum class Kind { Counter, Gauge, Histogram } kind = Kind::Counter;
+  std::uint64_t value = 0;  ///< Counter value / histogram count.
+  double dvalue = 0.0;      ///< Gauge value.
+  std::uint64_t sum = 0;    ///< Histogram sum.
+  std::vector<std::uint64_t> buckets;  ///< Histogram, trailing zeros trimmed.
+};
+
+/// Aggregate every registered instrument, sorted by name.
+std::vector<MetricSample> metrics_snapshot();
+
+/// Write the snapshot as {"metrics":[...]} JSON. Returns false on IO error.
+bool write_metrics_json(const std::string& path);
+
+}  // namespace esp::obs

@@ -1,0 +1,54 @@
+#include "obs/obs.hpp"
+
+#include <chrono>
+
+#include "common/env.hpp"
+
+namespace esp::obs {
+
+namespace detail {
+constinit std::atomic<bool> g_on{false};
+constinit std::atomic<bool> g_trace_on{false};
+
+namespace {
+/// Parse the ESP_OBS switches once, before main (single-threaded): hooks
+/// reached earlier read the constant-initialized "off".
+const bool g_env_applied = [] {
+  const bool on = env_flag("ESP_OBS", false);
+  g_on.store(on, std::memory_order_relaxed);
+  g_trace_on.store(on && env_flag("ESP_OBS_TRACE", true),
+                   std::memory_order_relaxed);
+  return true;
+}();
+
+const std::chrono::steady_clock::time_point g_origin =
+    std::chrono::steady_clock::now();
+}  // namespace
+}  // namespace detail
+
+void set_enabled(bool metrics_on, bool trace_on) {
+  detail::g_on.store(metrics_on, std::memory_order_relaxed);
+  detail::g_trace_on.store(metrics_on && trace_on,
+                           std::memory_order_relaxed);
+}
+
+std::uint64_t trace_max_events() {
+  static const std::uint64_t cap = [] {
+    const std::int64_t v = env_int("ESP_OBS_TRACE_MAX", 262144);
+    return v > 0 ? static_cast<std::uint64_t>(v) : 262144u;
+  }();
+  return cap;
+}
+
+std::string artifact_dir(const std::string& session_output_dir) {
+  const std::string dir = env_str("ESP_OBS_DIR", "");
+  return dir.empty() ? session_output_dir : dir;
+}
+
+double real_now() noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       detail::g_origin)
+      .count();
+}
+
+}  // namespace esp::obs

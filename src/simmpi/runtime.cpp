@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "common/hash.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace esp::mpi {
 
@@ -164,6 +166,13 @@ void Runtime::rank_main(int world_rank) {
   rc.crash_at = injector_.crash_time(world_rank);
   rc.crash_after_calls = injector_.crash_after_calls(world_rank);
   g_self = &rc;
+
+  // Trace identity: one Perfetto process per partition, one track per
+  // universe rank; span timestamps on these tracks are *virtual* seconds.
+  if (obs::enabled())
+    obs::set_thread_track(part.id + 1, world_rank,
+                          part.name + "/" + std::to_string(rc.partition_rank),
+                          part.name);
 
   ProcEnv env;
   env.universe = universe();

@@ -9,10 +9,35 @@
 
 #include "common/hash.hpp"
 #include "net/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace esp::vmpi {
 
 namespace {
+
+/// Registry lookups hoisted out of the hot paths; every use is guarded by
+/// obs::enabled().
+struct StreamObs {
+  obs::Counter& opens = obs::counter("stream.opens");
+  obs::Counter& blocks_written = obs::counter("stream.blocks_written");
+  obs::Counter& bytes_written = obs::counter("stream.bytes_written");
+  obs::Counter& blocks_read = obs::counter("stream.blocks_read");
+  obs::Counter& bytes_read = obs::counter("stream.bytes_read");
+  obs::Counter& eagain = obs::counter("stream.eagain_returns");
+  obs::Counter& epipe = obs::counter("stream.epipe_returns");
+  obs::Counter& backpressure = obs::counter("stream.backpressure_waits");
+  obs::Counter& seq_gaps = obs::counter("stream.seq_gap_blocks");
+  obs::Counter& corrupted = obs::counter("stream.blocks_corrupted");
+  obs::Counter& retried = obs::counter("stream.blocks_retried");
+  obs::Histogram& out_depth = obs::histogram("stream.out_queue_depth");
+};
+
+StreamObs& sobs() {
+  static StreamObs o;
+  return o;
+}
 constexpr int kStreamCtlTag = 0x6f100000;
 constexpr int kStreamDataBase = net::kStreamDataTagBase;
 
@@ -83,6 +108,13 @@ void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
   rt_ = env.runtime;
   writer_ = mode != nullptr && mode[0] == 'w';
   open_ = true;
+
+  if (obs::enabled()) {
+    sobs().opens.add(1);
+    if (mpi::Runtime::on_rank_thread())
+      obs::trace_instant("stream", writer_ ? "stream.open.w" : "stream.open.r",
+                         mpi::Runtime::self().clock);
+  }
 
   if (writer_) {
     peers_ = map.peers();
@@ -176,8 +208,15 @@ int Stream::acquire_out_buf() {
     }
   }
   const std::size_t oldest = blocks_written_ % out_.size();
+  ++backpressure_waits_;
+  const double t0 = mpi::Runtime::self().clock;
   if (mpi::pwait(out_[oldest].req).error != 0) ++writes_failed_;
   out_[oldest].req.reset();
+  if (obs::enabled()) {
+    sobs().backpressure.add(1);
+    obs::trace_span("stream", "stream.backpressure", t0,
+                    mpi::Runtime::self().clock);
+  }
   return static_cast<int>(oldest);
 }
 
@@ -195,6 +234,7 @@ int Stream::write_partial(const void* buf, std::uint64_t bytes) {
   if (bytes == 0 || bytes > cfg_.block_size)
     throw std::invalid_argument("bad partial-block size");
   auto& rc = mpi::Runtime::self();
+  const double t_begin = rc.clock;
   const int slot = acquire_out_buf();
   auto& ob = out_[static_cast<std::size_t>(slot)];
   const std::size_t ti = static_cast<std::size_t>(next_target());
@@ -214,6 +254,18 @@ int Stream::write_partial(const void* buf, std::uint64_t bytes) {
   ob.req = universe_.pisend(ob.data->data(), bytes + frame_bytes(), peer,
                             data_tag_);
   ++blocks_written_;
+  bytes_written_ += bytes;
+  if (obs::enabled()) {
+    auto& o = sobs();
+    o.blocks_written.add(1);
+    o.bytes_written.add(bytes);
+    std::uint64_t in_flight = 0;
+    for (const auto& b : out_)
+      if (b.req && !b.req->is_done()) ++in_flight;
+    o.out_depth.observe(in_flight);
+    obs::trace_span("stream", "stream.write", t_begin, rc.clock, bytes,
+                    "bytes");
+  }
   return 1;
 }
 
@@ -286,7 +338,9 @@ int Stream::try_read_block(void* buf) {
                                     ip.universe_rank, ip.tag);
         ip.head = (ip.head + 1) % ip.slots.size();
         ++ip.blocks;
+        ip.bytes += st.bytes;
         ++blocks_read_;
+        bytes_read_ += st.bytes;
         return 1;
       }
 
@@ -304,11 +358,13 @@ int Stream::try_read_block(void* buf) {
         // keeps later gap accounting from double-counting it as lost.
         ++ip.corrupted;
         ++ip.expected_seq;
+        if (obs::enabled()) sobs().corrupted.add(1);
         if (++ip.consecutive_corrupt > cfg_.max_corrupt_retries) {
           mark_peer_dead(ip);
           break;
         }
         ++ip.retried;
+        if (obs::enabled()) sobs().retried.add(1);
         slot.req = universe_.pirecv(slot.data->data(),
                                     cfg_.block_size + frame_bytes(),
                                     ip.universe_rank, ip.tag);
@@ -316,7 +372,11 @@ int Stream::try_read_block(void* buf) {
         continue;
       }
       ip.consecutive_corrupt = 0;
-      if (h.seq > ip.expected_seq) ip.lost += h.seq - ip.expected_seq;
+      if (h.seq > ip.expected_seq) {
+        const std::uint64_t gap = h.seq - ip.expected_seq;
+        ip.lost += gap;
+        if (obs::enabled()) sobs().seq_gaps.add(gap);
+      }
       ip.expected_seq = h.seq + 1;
       if (h.payload == 0) {
         ip.closed = true;  // end-of-stream, seq = writer's final count
@@ -333,7 +393,9 @@ int Stream::try_read_block(void* buf) {
                                   ip.universe_rank, ip.tag);
       ip.head = (ip.head + 1) % ip.slots.size();
       ++ip.blocks;
+      ip.bytes += h.payload;
       ++blocks_read_;
+      bytes_read_ += h.payload;
       return 1;
     }
   }
@@ -348,6 +410,27 @@ int Stream::try_read_block(void* buf) {
 int Stream::read(void* buf, int nblocks, int flags) {
   if (!open_ || writer_) throw std::logic_error("not an open read stream");
   if (closed_) throw std::logic_error("read on closed stream");
+  const bool obs_on = obs::enabled();
+  const double t_begin = obs_on ? mpi::Runtime::self().clock : 0.0;
+  const int r = read_impl(buf, nblocks, flags);
+  if (r == kEagain) ++eagain_returns_;
+  if (obs_on) {
+    auto& o = sobs();
+    if (r > 0) {
+      o.blocks_read.add(static_cast<std::uint64_t>(r));
+      obs::trace_span("stream", "stream.read", t_begin,
+                      mpi::Runtime::self().clock,
+                      static_cast<std::uint64_t>(r), "blocks");
+    } else if (r == kEagain) {
+      o.eagain.add(1);
+    } else if (r == kEpipe) {
+      o.epipe.add(1);
+    }
+  }
+  return r;
+}
+
+int Stream::read_impl(void* buf, int nblocks, int flags) {
   auto* dst = static_cast<std::byte*>(buf);
   const auto poll = std::chrono::microseconds(cfg_.dead_poll_us);
   int got = 0;
@@ -400,6 +483,11 @@ int Stream::read(void* buf, int nblocks, int flags) {
 
 int Stream::read_some(std::vector<BufferRef>& out, int max_blocks,
                       int flags) {
+  // A non-positive budget would fall through to `return 0`, which the
+  // caller cannot distinguish from a clean end-of-stream — so a buggy
+  // batch-size knob would silently end analysis instead of failing loud.
+  if (max_blocks <= 0)
+    throw std::logic_error("Stream::read_some: max_blocks must be > 0");
   int got = 0;
   while (got < max_blocks) {
     auto block = Buffer::make(cfg_.block_size);
@@ -454,6 +542,10 @@ StreamStats Stream::stats() const {
   StreamStats s;
   s.blocks_written = blocks_written_;
   s.blocks_read = blocks_read_;
+  s.bytes_written = bytes_written_;
+  s.bytes_read = bytes_read_;
+  s.eagain_returns = eagain_returns_;
+  s.backpressure_waits = backpressure_waits_;
   s.writes_failed = writes_failed_;
   for (const auto& ip : in_peers_) {
     s.blocks_lost += ip.lost;
@@ -471,6 +563,7 @@ std::vector<StreamPeerStats> Stream::peer_stats() const {
     StreamPeerStats ps;
     ps.universe_rank = ip.universe_rank;
     ps.blocks_delivered = ip.blocks;
+    ps.bytes_delivered = ip.bytes;
     ps.blocks_lost = ip.lost;
     ps.blocks_corrupted = ip.corrupted;
     ps.blocks_retried = ip.retried;

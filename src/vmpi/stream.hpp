@@ -79,6 +79,7 @@ struct StreamConfig {
 struct StreamPeerStats {
   int universe_rank = -1;
   std::uint64_t blocks_delivered = 0;
+  std::uint64_t bytes_delivered = 0;   ///< Payload bytes of delivered blocks.
   std::uint64_t blocks_lost = 0;       ///< Sequence gaps (network drops).
   std::uint64_t blocks_corrupted = 0;  ///< CRC / framing failures.
   std::uint64_t blocks_retried = 0;    ///< Corrupt blocks skipped-and-continued.
@@ -90,10 +91,14 @@ struct StreamPeerStats {
 struct StreamStats {
   std::uint64_t blocks_written = 0;
   std::uint64_t blocks_read = 0;
+  std::uint64_t bytes_written = 0;  ///< Payload bytes accepted by write*.
+  std::uint64_t bytes_read = 0;     ///< Payload bytes delivered to read*.
   std::uint64_t blocks_lost = 0;
   std::uint64_t blocks_corrupted = 0;
   std::uint64_t blocks_retried = 0;
   std::uint64_t writes_failed = 0;  ///< Sends completed with a dead peer.
+  std::uint64_t eagain_returns = 0;      ///< Non-blocking reads that found nothing.
+  std::uint64_t backpressure_waits = 0;  ///< Writes that waited for an out buffer.
   int peers_dead = 0;
 };
 
@@ -137,7 +142,11 @@ class Stream {
   /// (non-blocking), so a burst of queued blocks drains in one call but
   /// the call never waits for more than one. Returns the number of blocks
   /// appended (> 0), or read()'s terminal codes (0 / kEagain / kEpipe)
-  /// when nothing was appended.
+  /// when — and only when — nothing was appended: a call that drained at
+  /// least one block always reports the positive count and leaves the
+  /// terminal condition for the next call. Throws std::logic_error when
+  /// `max_blocks <= 0` (a non-positive budget would otherwise return 0,
+  /// indistinguishable from a clean end-of-stream).
   int read_some(std::vector<BufferRef>& out, int max_blocks, int flags = 0);
 
   /// Flush outstanding writes and send end-of-stream to every endpoint.
@@ -174,6 +183,7 @@ class Stream {
     bool dead = false;
     std::uint64_t expected_seq = 0;
     std::uint64_t blocks = 0;
+    std::uint64_t bytes = 0;
     std::uint64_t lost = 0;
     std::uint64_t corrupted = 0;
     std::uint64_t retried = 0;
@@ -182,6 +192,7 @@ class Stream {
 
   int next_target();
   int acquire_out_buf();
+  int read_impl(void* buf, int nblocks, int flags);
   /// Try to consume one completed block; -2 when nothing ready, 0 when
   /// every peer closed cleanly, -3 when done with >= 1 dead peer.
   int try_read_block(void* buf);
@@ -217,6 +228,10 @@ class Stream {
 
   std::uint64_t blocks_written_ = 0;
   std::uint64_t blocks_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t eagain_returns_ = 0;
+  std::uint64_t backpressure_waits_ = 0;
 };
 
 }  // namespace esp::vmpi

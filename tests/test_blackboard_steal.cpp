@@ -246,6 +246,66 @@ LedgerSnapshot run_faulty_session(std::uint64_t seed) {
   return s;
 }
 
+TEST(BlackboardStats, SnapshotsObeySubsetInvariantsUnderLoad) {
+  // stats() taken mid-flight must never be torn with respect to the
+  // documented subset relations: writers bump the superset counter first
+  // and the reader loads subsets first, so a snapshot like
+  // jobs_stolen > jobs_executed is impossible by construction — not just
+  // unlikely. Hammer snapshots from a sampler thread while KSs register,
+  // fail, quarantine, and steal.
+  BlackboardConfig cfg;
+  cfg.workers = 4;
+  cfg.quarantine_threshold = 2;
+  Blackboard board(cfg);
+
+  std::atomic<bool> sampling{true};
+  std::atomic<std::uint64_t> snapshots{0};
+  std::thread sampler([&] {
+    while (sampling.load()) {
+      const BlackboardStats s = board.stats();
+      ASSERT_LE(s.jobs_failed, s.jobs_executed);
+      ASSERT_LE(s.jobs_stolen, s.jobs_executed);
+      ASSERT_LE(s.ks_quarantined, s.ks_removed);
+      ASSERT_LE(s.ks_removed, s.ks_registered);
+      ASSERT_LE(s.batches_submitted, s.entries_pushed);
+      snapshots.fetch_add(1);
+    }
+  });
+
+  const TypeId work = type_id("snap.work");
+  const TypeId poison = type_id("snap.poison");
+  for (int round = 0; round < 40; ++round) {
+    board.register_ks({"worker", {work}, [](Blackboard&,
+                                            std::span<const DataEntry>) {}});
+    // A failing KS exercises the failed/quarantined/removed chain.
+    board.register_ks({"poison", {poison},
+                       [](Blackboard&, std::span<const DataEntry>) {
+                         throw std::runtime_error("boom");
+                       }});
+    std::vector<DataEntry> batch;
+    for (int i = 0; i < 64; ++i)
+      batch.push_back(DataEntry::of(work, i));
+    for (int i = 0; i < 4; ++i)
+      batch.push_back(DataEntry::of(poison, i));
+    board.submit_batch(batch);
+    board.drain();
+  }
+  board.stop();
+  sampling.store(false);
+  sampler.join();
+  EXPECT_GT(snapshots.load(), 0u);
+
+  // Quiesced totals are exact.
+  const BlackboardStats s = board.stats();
+  EXPECT_LE(s.jobs_failed, s.jobs_executed);
+  EXPECT_LE(s.jobs_stolen, s.jobs_executed);
+  EXPECT_LE(s.ks_quarantined, s.ks_removed);
+  EXPECT_LE(s.ks_removed, s.ks_registered);
+  EXPECT_EQ(s.ks_registered, 80u);
+  EXPECT_GT(s.jobs_failed, 0u);
+  EXPECT_GT(s.ks_quarantined, 0u);
+}
+
 TEST(BlackboardSteal, SameSeedLedgerIsDeterministicUnderStealing) {
   const LedgerSnapshot a = run_faulty_session(11);
   const LedgerSnapshot b = run_faulty_session(11);

@@ -174,5 +174,51 @@ TEST(Env, IntFlagAndString) {
   unsetenv("ESP_TEST_FLAG");
 }
 
+/// Malformed knobs must fall back to the default (with a one-shot stderr
+/// warning), never half-parse: "8x" is not 8 and "1e3" is not 1.
+TEST(Env, MalformedIntegerFallsBackToDefault) {
+  setenv("ESP_TEST_BAD_INT", "8x", 1);
+  EXPECT_EQ(env_int("ESP_TEST_BAD_INT", 5), 5);
+  setenv("ESP_TEST_BAD_INT", "1e3", 1);
+  EXPECT_EQ(env_int("ESP_TEST_BAD_INT", 5), 5);
+  setenv("ESP_TEST_BAD_INT", "12 34", 1);
+  EXPECT_EQ(env_int("ESP_TEST_BAD_INT", 5), 5);
+  setenv("ESP_TEST_BAD_INT", "abc", 1);
+  EXPECT_EQ(env_int("ESP_TEST_BAD_INT", -2), -2);
+  // Out of int64 range is a misconfiguration, not a saturated value.
+  setenv("ESP_TEST_BAD_INT", "99999999999999999999999", 1);
+  EXPECT_EQ(env_int("ESP_TEST_BAD_INT", 5), 5);
+  unsetenv("ESP_TEST_BAD_INT");
+}
+
+TEST(Env, IntAcceptsSignsAndTrailingWhitespace) {
+  setenv("ESP_TEST_OK_INT", "-17", 1);
+  EXPECT_EQ(env_int("ESP_TEST_OK_INT", 0), -17);
+  setenv("ESP_TEST_OK_INT", "+9", 1);
+  EXPECT_EQ(env_int("ESP_TEST_OK_INT", 0), 9);
+  // Trailing whitespace is a quoting artifact, not a malformed knob.
+  setenv("ESP_TEST_OK_INT", "33 ", 1);
+  EXPECT_EQ(env_int("ESP_TEST_OK_INT", 0), 33);
+  setenv("ESP_TEST_OK_INT", "0", 1);
+  EXPECT_EQ(env_int("ESP_TEST_OK_INT", 4), 0);
+  unsetenv("ESP_TEST_OK_INT");
+}
+
+TEST(Env, FlagRecognizesTokensCaseInsensitively) {
+  for (const char* yes : {"1", "true", "YES", "On", "TRUE"}) {
+    setenv("ESP_TEST_TOK", yes, 1);
+    EXPECT_TRUE(env_flag("ESP_TEST_TOK", false)) << yes;
+  }
+  for (const char* no : {"0", "false", "NO", "Off", "FALSE"}) {
+    setenv("ESP_TEST_TOK", no, 1);
+    EXPECT_FALSE(env_flag("ESP_TEST_TOK", true)) << no;
+  }
+  // Unknown tokens fall back to the caller's default, either way.
+  setenv("ESP_TEST_TOK", "maybe", 1);
+  EXPECT_TRUE(env_flag("ESP_TEST_TOK", true));
+  EXPECT_FALSE(env_flag("ESP_TEST_TOK", false));
+  unsetenv("ESP_TEST_TOK");
+}
+
 }  // namespace
 }  // namespace esp

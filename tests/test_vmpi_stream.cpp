@@ -8,6 +8,7 @@
 #include <mutex>
 #include <vector>
 
+#include "blackboard/blackboard.hpp"
 #include "common/hash.hpp"
 #include "vmpi/stream.hpp"
 
@@ -386,6 +387,162 @@ TEST(VmpiStream, EosAfterDrainWhenFirstWriterClosesImmediately) {
   Runtime rt(RuntimeConfig{}, std::move(progs));
   rt.run();
   EXPECT_EQ(got.load(), 5);
+}
+
+TEST(VmpiStreamReadSome, NonPositiveBudgetThrows) {
+  // A non-positive budget used to return 0, indistinguishable from clean
+  // end-of-stream — callers would silently end analysis early.
+  std::vector<ProgramSpec> progs;
+  progs.push_back({"w", 1, [](ProcEnv& env) {
+                     Stream st({1024, 2, BalancePolicy::None});
+                     st.open_peer(env, 1, "w");
+                     std::vector<std::byte> block(1024);
+                     fill_block(block, 0, 0);
+                     st.write(block.data(), 1);
+                     st.close();
+                   }});
+  progs.push_back({"r", 1, [](ProcEnv& env) {
+                     Stream st({1024, 2, BalancePolicy::None});
+                     st.open_peer(env, 0, "r");
+                     std::vector<BufferRef> out;
+                     EXPECT_THROW(st.read_some(out, 0), std::logic_error);
+                     EXPECT_THROW(st.read_some(out, -3), std::logic_error);
+                     EXPECT_TRUE(out.empty());
+                     // The stream is still usable after the rejected calls.
+                     EXPECT_EQ(st.read_some(out, 4), 1);
+                     ASSERT_EQ(out.size(), 1u);
+                     EXPECT_EQ(st.read_some(out, 4), 0);
+                   }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  rt.run();
+}
+
+TEST(VmpiStreamReadSome, PositiveCountWinsOverTerminalCodes) {
+  // A call that drained blocks reports the count even when the stream hit
+  // end-of-stream in the same call; the terminal 0 recurs on the NEXT
+  // call — appended blocks are never swallowed behind a terminal code.
+  std::vector<ProgramSpec> progs;
+  progs.push_back({"w", 1, [](ProcEnv& env) {
+                     Stream st({1024, 4, BalancePolicy::None});
+                     st.open_peer(env, 1, "w");
+                     std::vector<std::byte> block(1024);
+                     for (int b = 0; b < 3; ++b) {
+                       fill_block(block, 0, b);
+                       st.write(block.data(), 1);
+                     }
+                     st.close();
+                   }});
+  progs.push_back({"r", 1, [](ProcEnv& env) {
+                     Stream st({1024, 4, BalancePolicy::None});
+                     st.open_peer(env, 0, "r");
+                     std::vector<BufferRef> out;
+                     int total = 0;
+                     int r;
+                     while ((r = st.read_some(out, 16)) > 0) total += r;
+                     EXPECT_EQ(r, 0);
+                     EXPECT_EQ(total, 3);
+                     EXPECT_EQ(out.size(), 3u);
+                     for (const auto& buf : out) {
+                       std::vector<std::byte> blk(buf->data(),
+                                                  buf->data() + buf->size());
+                       EXPECT_TRUE(check_block(blk));
+                     }
+                     // Terminal code is sticky once everything drained.
+                     EXPECT_EQ(st.read_some(out, 16), 0);
+                   }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  rt.run();
+}
+
+TEST(VmpiStreamReadSome, EagainOnlyWhenNothingAppended) {
+  std::vector<ProgramSpec> progs;
+  std::atomic<bool> reader_polled{false};
+  progs.push_back({"w", 1, [&](ProcEnv& env) {
+                     Stream st({1024, 2, BalancePolicy::None});
+                     st.open_peer(env, 1, "w");
+                     while (!reader_polled.load()) {
+                     }
+                     std::vector<std::byte> block(1024);
+                     fill_block(block, 0, 0);
+                     st.write(block.data(), 1);
+                     st.close();
+                   }});
+  progs.push_back({"r", 1, [&](ProcEnv& env) {
+                     Stream st({1024, 2, BalancePolicy::None});
+                     st.open_peer(env, 0, "r");
+                     std::vector<BufferRef> out;
+                     EXPECT_EQ(st.read_some(out, 8, kNonblock), kEagain);
+                     EXPECT_TRUE(out.empty());
+                     EXPECT_GE(st.stats().eagain_returns, 1u);
+                     reader_polled.store(true);
+                     int r;
+                     do {
+                       r = st.read_some(out, 8, kNonblock);
+                     } while (r == kEagain);
+                     EXPECT_EQ(r, 1);
+                     EXPECT_EQ(out.size(), 1u);
+                   }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  rt.run();
+}
+
+TEST(VmpiStream, ByteCountersTrackPayload) {
+  std::vector<ProgramSpec> progs;
+  progs.push_back({"w", 1, [](ProcEnv& env) {
+                     Stream st({4096, 2, BalancePolicy::None});
+                     st.open_peer(env, 1, "w");
+                     std::vector<std::byte> block(4096);
+                     fill_block(block, 0, 0);
+                     st.write(block.data(), 1);
+                     st.write_partial(block.data(), 100);  // short tail
+                     const auto s = st.stats();
+                     EXPECT_EQ(s.blocks_written, 2u);
+                     EXPECT_EQ(s.bytes_written, 4096u + 100u);
+                     st.close();
+                   }});
+  progs.push_back({"r", 1, [](ProcEnv& env) {
+                     Stream st({4096, 2, BalancePolicy::None});
+                     st.open_peer(env, 0, "r");
+                     std::vector<std::byte> block(4096);
+                     while (st.read(block.data(), 1) > 0) {
+                     }
+                     const auto s = st.stats();
+                     EXPECT_EQ(s.blocks_read, 2u);
+                     EXPECT_EQ(s.bytes_read, 4096u + 100u);
+                     const auto peers = st.peer_stats();
+                     ASSERT_EQ(peers.size(), 1u);
+                     EXPECT_EQ(peers[0].bytes_delivered, 4096u + 100u);
+                   }});
+  Runtime rt(RuntimeConfig{}, std::move(progs));
+  rt.run();
+}
+
+// --- BlackboardConfig fifo_count deprecation (alias plumbing lives next
+// --- to the stream tests because both feed the same analyzer read loop).
+
+TEST(BlackboardFifoAlias, ExplicitInjectionWidthWins) {
+  bb::BlackboardConfig cfg;
+  cfg.workers = 1;
+  cfg.fifo_count = 4;       // deprecated alias, also set
+  cfg.injection_fifos = 9;  // explicit field wins
+  bb::Blackboard board(cfg);
+  EXPECT_EQ(board.injection_fifo_count(), 9);
+  board.stop();
+}
+
+TEST(BlackboardFifoAlias, AliasAloneStillSizesTheArray) {
+  bb::BlackboardConfig cfg;
+  cfg.workers = 1;
+  cfg.fifo_count = 5;  // injection_fifos left unset (0)
+  bb::Blackboard board(cfg);
+  EXPECT_EQ(board.injection_fifo_count(), 5);
+  board.stop();
+}
+
+TEST(BlackboardFifoAlias, NegativeExplicitWidthThrows) {
+  bb::BlackboardConfig cfg;
+  cfg.injection_fifos = -1;
+  EXPECT_THROW(bb::Blackboard{cfg}, std::invalid_argument);
 }
 
 }  // namespace

@@ -39,6 +39,24 @@ run_config() {
 run_config build
 run_config build-sanitize -DESP_SANITIZE=ON
 
+echo "=== observability artifact schema check ==="
+# The ObsPipeline ctest leaves its session artifacts behind under the test
+# working directory precisely so this check (and CI's artifact upload) can
+# consume them: valid Chrome trace JSON, per-track monotone timestamps,
+# well-formed metrics.
+obs_dir="$repo/build/tests/obs_artifacts"
+if [[ ! -f "$obs_dir/trace.json" || ! -f "$obs_dir/metrics.json" ]]; then
+  echo "error: $obs_dir missing trace.json/metrics.json (did the" \
+       "ObsPipeline test run?)" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 "$repo/tools/check_trace.py" \
+    "$obs_dir/trace.json" "$obs_dir/metrics.json"
+else
+  echo "warning: python3 not found; skipping trace schema check" >&2
+fi
+
 echo "=== blackboard contention sweep + regression gate ==="
 ESP_BB_BENCH_JSON="${ESP_BB_BENCH_JSON:-$repo/BENCH_blackboard.json}" \
 ESP_BB_BASELINE="${ESP_BB_BASELINE:-$repo/bench/BENCH_blackboard.baseline.json}" \

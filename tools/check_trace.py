@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Schema smoke-check for the self-observability artifacts.
+
+Usage: check_trace.py TRACE_JSON [METRICS_JSON]
+
+Validates that TRACE_JSON is a Chrome trace_event file Perfetto will load:
+a JSON object with a "traceEvents" list, every event carrying name/ph/pid/
+tid, and — for complete ("X") events — a non-negative dur with timestamps
+monotone per (pid, tid) track in file order (the writer sorts each track
+before emitting, so any inversion is a writer bug, not jitter).
+
+If METRICS_JSON is given, checks it is a JSON object whose "metrics" list
+entries each carry a name and a type-appropriate value field.
+
+Stdlib only; exits non-zero with a one-line reason on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: not an object with a traceEvents key")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not a list")
+
+    last_ts = {}  # (pid, tid) -> last seen ts for "X"/"i" events
+    n_spans = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"{path}: event #{i} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"{path}: event #{i} missing '{key}'")
+        ph = ev["ph"]
+        if ph == "M":
+            continue  # metadata events carry no timestamps
+        if "ts" not in ev:
+            fail(f"{path}: event #{i} ({ev['name']}) missing 'ts'")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{path}: event #{i} ({ev['name']}) has bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{path}: event #{i} ({ev['name']}) has bad dur "
+                     f"{dur!r}")
+            n_spans += 1
+        track = (ev["pid"], ev["tid"])
+        if ts < last_ts.get(track, 0):
+            fail(f"{path}: event #{i} ({ev['name']}) ts {ts} goes backwards "
+                 f"on track pid={track[0]} tid={track[1]} "
+                 f"(prev {last_ts[track]})")
+        last_ts[track] = ts
+    print(f"check_trace: {path}: OK "
+          f"({len(events)} events, {n_spans} spans, {len(last_ts)} tracks)")
+
+
+def check_metrics(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "metrics" not in doc:
+        fail(f"{path}: not an object with a metrics key")
+    metrics = doc["metrics"]
+    if not isinstance(metrics, list):
+        fail(f"{path}: metrics is not a list")
+    for i, m in enumerate(metrics):
+        if not isinstance(m, dict) or "name" not in m or "type" not in m:
+            fail(f"{path}: metric #{i} missing name/type")
+        kind = m["type"]
+        if kind in ("counter", "gauge") and "value" not in m:
+            fail(f"{path}: metric #{i} ({m['name']}) missing 'value'")
+        if kind == "histogram":
+            for key in ("count", "sum", "buckets"):
+                if key not in m:
+                    fail(f"{path}: metric #{i} ({m['name']}) missing "
+                         f"'{key}'")
+    print(f"check_trace: {path}: OK ({len(metrics)} metrics)")
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    check_trace(sys.argv[1])
+    if len(sys.argv) == 3:
+        check_metrics(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()
