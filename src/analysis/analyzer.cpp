@@ -40,8 +40,9 @@ struct Reader {
 };
 
 /// Blob version tag; bumped whenever the reduction wire format changes
-/// ("ESP4" added the per-app telemetry counters).
-constexpr std::uint32_t kBlobTag = 0x45535034;
+/// ("ESP4" added the per-app telemetry counters; "ESP5" appended failover
+/// telemetry and degradation-ladder accounting).
+constexpr std::uint32_t kBlobTag = 0x45535035;
 
 std::vector<std::byte> serialize(const AppResults& a) {
   Writer w;
@@ -88,6 +89,12 @@ std::vector<std::byte> serialize(const AppResults& a) {
   // Per-app transport telemetry.
   w.put(a.telemetry.stream_blocks);
   w.put(a.telemetry.stream_bytes);
+  w.put(a.telemetry.failover_joins);
+  w.put(a.telemetry.blocks_replayed);
+  // Degradation-ladder accounting.
+  w.put(a.degrade.packs_full);
+  w.put(a.degrade.packs_sampled);
+  w.put(a.degrade.packs_aggregated);
   return std::move(w.out);
 }
 
@@ -151,6 +158,12 @@ void merge_serialized(AppResults& out, const std::vector<std::byte>& blob) {
   // Per-app transport telemetry.
   out.telemetry.stream_blocks += r.get<std::uint64_t>();
   out.telemetry.stream_bytes += r.get<std::uint64_t>();
+  out.telemetry.failover_joins += r.get<std::uint64_t>();
+  out.telemetry.blocks_replayed += r.get<std::uint64_t>();
+  // Degradation-ladder accounting.
+  out.degrade.packs_full += r.get<std::uint64_t>();
+  out.degrade.packs_sampled += r.get<std::uint64_t>();
+  out.degrade.packs_aggregated += r.get<std::uint64_t>();
 }
 
 }  // namespace
@@ -212,14 +225,26 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
   std::vector<bb::DataEntry> batch;
   blocks.reserve(static_cast<std::size_t>(read_batch));
   batch.reserve(static_cast<std::size_t>(read_batch));
+  // Fidelity accounting: at which rung of the degradation ladder each
+  // application's packs arrived. Read off the pack headers here (the only
+  // place every delivered pack passes through) and folded into the report
+  // so degraded windows are flagged, not silently averaged in.
+  std::map<int, DegradeStats> local_degrade;
   for (;;) {
     blocks.clear();
     batch.clear();
     const int r = stream.read_some(blocks, read_batch);
     for (auto& block : blocks) {
       const auto view = inst::PackView::parse(block->data(), block->size());
-      if (view.valid())
+      if (view.valid()) {
         rc.advance(static_cast<double>(view.header->event_count) * per_event);
+        auto& dg = local_degrade[static_cast<int>(view.header->app_id)];
+        switch (static_cast<inst::PackMode>(view.header->mode)) {
+          case inst::PackMode::Full: ++dg.packs_full; break;
+          case inst::PackMode::Sampled: ++dg.packs_sampled; break;
+          case inst::PackMode::Aggregated: ++dg.packs_aggregated; break;
+        }
+      }
       batch.emplace_back(pack_type(), std::move(block));
     }
     if (!batch.empty()) board.submit_batch(batch);
@@ -251,12 +276,27 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
     auto& tel = local_telemetry[part.id];
     tel.stream_blocks += ps.blocks_delivered;
     tel.stream_bytes += ps.bytes_delivered;
+    if (ps.failover_join) ++tel.failover_joins;
+    tel.blocks_replayed += ps.blocks_replayed;
   }
 
-  // Reduce per-application partials onto analyzer rank 0.
+  // Reduce per-application partials onto a *surviving* analyzer rank: the
+  // first rank of this partition with no crash scheduled under the fault
+  // plan. The plan is known identically to every rank before the run, so
+  // all survivors agree on the root without any communication — killing
+  // analyzer rank 0 no longer kills the report.
   const mpi::Comm& world = env.world;
   const int arank = env.world_rank;
-  std::map<int, AppResults> merged_apps;  // rank 0 only
+  int root = 0;
+  if (rt.injector().enabled()) {
+    for (int a = 0; a < env.partition->size; ++a) {
+      if (!rt.injector().has_crash(env.partition->first_world_rank + a)) {
+        root = a;
+        break;
+      }
+    }
+  }
+  std::map<int, AppResults> merged_apps;  // root only
   for (const auto& lvl : levels) {
     AppResults local;
     local.app_id = lvl.app_id;
@@ -272,19 +312,33 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
     if (auto it = local_telemetry.find(lvl.app_id);
         it != local_telemetry.end())
       local.telemetry = it->second;
+    if (auto it = local_degrade.find(lvl.app_id); it != local_degrade.end())
+      local.degrade = it->second;
     for (auto& v : local.density)
       if (v.size() < static_cast<std::size_t>(lvl.size))
         v.resize(static_cast<std::size_t>(lvl.size), 0.0);
 
-    if (arank != 0) {
-      const auto blob = serialize(local);
+    // Give the level's partials an engine-level identity: the reduction
+    // goes through the blackboard's level-state registry (snapshot on the
+    // sending side, merge on the root) instead of reaching into module
+    // internals — any surviving rank can absorb any level's snapshot.
+    // The registry outlives stop(), which is exactly when this runs.
+    auto state = std::make_shared<AppResults>(std::move(local));
+    board.register_level_state(
+        lvl.name, [state] { return serialize(*state); },
+        [state](const std::vector<std::byte>& b) {
+          merge_serialized(*state, b);
+        });
+
+    if (arank != root) {
+      const auto blob = board.snapshot_level(lvl.name);
       const std::uint64_t n = blob.size();
-      world.psend(&n, sizeof n, 0, kReduceTag);
-      if (n > 0) world.psend(blob.data(), n, 0, kReduceTag);
+      world.psend(&n, sizeof n, root, kReduceTag);
+      if (n > 0) world.psend(blob.data(), n, root, kReduceTag);
       continue;
     }
-    AppResults merged = std::move(local);
-    for (int src = 1; src < world.size(); ++src) {
+    for (int src = 0; src < world.size(); ++src) {
+      if (src == arank) continue;
       std::uint64_t n = 0;
       // A dead analyzer rank fails these receives cleanly (kErrPeerDead),
       // so the reduction degrades to the surviving partials.
@@ -292,9 +346,9 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
       std::vector<std::byte> blob(n);
       if (n > 0 && world.precv(blob.data(), n, src, kReduceTag).error != 0)
         continue;
-      merge_serialized(merged, blob);
+      board.merge_level(lvl.name, blob);
     }
-    merged_apps[lvl.app_id] = std::move(merged);
+    merged_apps[lvl.app_id] = std::move(*state);
   }
 
   // Session-health + engine-telemetry reduction: explicit point-to-point
@@ -306,8 +360,8 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
       bstats.jobs_failed,   bstats.ks_quarantined, bstats.jobs_executed,
       bstats.jobs_stolen,   bstats.batches_submitted, sstats.blocks_read,
       sstats.bytes_read,    sstats.eagain_returns};
-  if (arank != 0) {
-    world.psend(health, sizeof health, 0, kReduceTag + 1);
+  if (arank != root) {
+    world.psend(health, sizeof health, root, kReduceTag + 1);
     return;
   }
   SessionHealth session_health;
@@ -319,7 +373,8 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
   session_health.telemetry.blocks_read = health[5];
   session_health.telemetry.bytes_read = health[6];
   session_health.telemetry.eagain_returns = health[7];
-  for (int src = 1; src < world.size(); ++src) {
+  for (int src = 0; src < world.size(); ++src) {
+    if (src == arank) continue;
     std::uint64_t h[8] = {};
     if (world.precv(h, sizeof h, src, kReduceTag + 1).error != 0) {
       merge_dead_ranks(session_health.dead_analyzer_ranks, src);
@@ -341,7 +396,7 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
     merge_dead_ranks(session_health.dead_world_ranks, d.world_rank);
   std::sort(session_health.dead_world_ranks.begin(),
             session_health.dead_world_ranks.end());
-  // Rank 0 writes the chaptered report and fills the programmatic sink.
+  // The reduce root writes the chaptered report and fills the sink.
   if (!cfg.output_dir.empty()) {
     std::vector<const AppResults*> apps;
     apps.reserve(merged_apps.size());

@@ -11,8 +11,9 @@
 ///     the stream buffer immediately, per the paper), until every writer
 ///     has closed,
 ///  5. drains the blackboard, reduces per-application partial results to
-///     analyzer rank 0, which emits the chaptered report "briefly after
-///     execution ends".
+///     a surviving analyzer rank (the first one with no crash scheduled
+///     under the fault plan; rank 0 when no faults are injected), which
+///     emits the chaptered report "briefly after execution ends".
 ///
 /// Virtual-time model: the analyzer rank charges
 /// `per_event_cost / workers` seconds per event read, modelling the
@@ -47,7 +48,7 @@ struct AnalyzerConfig {
   double temporal_bin_seconds = 5e-3;
   /// Report directory; empty disables file output.
   std::string output_dir;
-  /// Optional programmatic sink, filled by analyzer rank 0.
+  /// Optional programmatic sink, filled by the reduce root.
   std::shared_ptr<AnalysisResults> results;
 };
 

@@ -109,6 +109,22 @@ struct LossLedger {
 struct AppTelemetry {
   std::uint64_t stream_blocks = 0;  ///< Blocks delivered over app links.
   std::uint64_t stream_bytes = 0;   ///< Payload bytes delivered.
+  std::uint64_t failover_joins = 0;   ///< Links adopted after a reader died.
+  std::uint64_t blocks_replayed = 0;  ///< Resend-window blocks replayed onto them.
+};
+
+/// Fidelity accounting for one application: how many of its event packs
+/// arrived at each rung of the degradation ladder. Weighted (sampled /
+/// aggregated) packs mean the profile is statistical, not exact — the
+/// report flags it.
+struct DegradeStats {
+  std::uint64_t packs_full = 0;
+  std::uint64_t packs_sampled = 0;
+  std::uint64_t packs_aggregated = 0;
+
+  bool degraded() const noexcept {
+    return packs_sampled != 0 || packs_aggregated != 0;
+  }
 };
 
 /// Everything the analyzer learned about one application.
@@ -136,6 +152,9 @@ struct AppResults {
 
   /// How the transport behaved while carrying it.
   AppTelemetry telemetry;
+
+  /// At which fidelity it arrived (degradation ladder accounting).
+  DegradeStats degrade;
 
   static std::uint64_t comm_key(std::int32_t src, std::int32_t dst) noexcept {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |

@@ -136,11 +136,15 @@ void MpiProfiler::register_on(bb::Blackboard& board, const AppLevel& level) {
     const auto events = entries[0].payload->as<Event>();
     std::lock_guard lock(acc->mu);
     for (const Event& ev : events) {
+      // Degraded (sampled/aggregated) records carry a statistical weight:
+      // one record stands for `w` real calls, with per-call averages in
+      // its payload fields — so every accumulation scales by w.
+      const std::uint64_t w = inst::event_weight(ev);
       auto& ks = acc->per_kind[kind_slot(ev.kind)];
-      ks.hits += 1;
-      ks.time += ev.t_end - ev.t_begin;
-      ks.bytes += ev.bytes;
-      acc->total_events += 1;
+      ks.hits += w;
+      ks.time += static_cast<double>(w) * (ev.t_end - ev.t_begin);
+      ks.bytes += w * ev.bytes;
+      acc->total_events += w;
       if (ev.t_end > acc->last_event_time) acc->last_event_time = ev.t_end;
     }
   };
@@ -195,11 +199,12 @@ void TopologyModule::register_on(bb::Blackboard& board,
            // Count each transfer once, at the send side.
            const auto k = inst::to_call_kind(ev.kind);
            if (k != mpi::CallKind::Send && k != mpi::CallKind::Isend) continue;
-           if (ev.peer < 0) continue;
+           if (ev.peer < 0) continue;  // also skips aggregated records
+           const std::uint64_t w = inst::event_weight(ev);
            auto& cell = acc->comm[AppResults::comm_key(ev.rank, ev.peer)];
-           cell.hits += 1;
-           cell.bytes += ev.bytes;
-           cell.time += ev.t_end - ev.t_begin;
+           cell.hits += w;
+           cell.bytes += w * ev.bytes;
+           cell.time += static_cast<double>(w) * (ev.t_end - ev.t_begin);
          }
        }});
 }
@@ -247,17 +252,18 @@ void DensityModule::register_on(bb::Blackboard& board, const AppLevel& level) {
     for (const Event& ev : events) {
       const auto r = static_cast<std::size_t>(ev.rank);
       if (r >= at(DensityMetric::SendHits).size()) continue;
-      const double dt = ev.t_end - ev.t_begin;
+      const double w = static_cast<double>(inst::event_weight(ev));
+      const double dt = w * (ev.t_end - ev.t_begin);
       if (inst::is_mpi(ev.kind)) {
         const auto k = inst::to_call_kind(ev.kind);
         if (k == mpi::CallKind::Send || k == mpi::CallKind::Isend) {
-          at(DensityMetric::SendHits)[r] += 1.0;
-          at(DensityMetric::P2pBytes)[r] += static_cast<double>(ev.bytes);
+          at(DensityMetric::SendHits)[r] += w;
+          at(DensityMetric::P2pBytes)[r] += w * static_cast<double>(ev.bytes);
         }
         if (mpi::is_wait(k)) at(DensityMetric::WaitTime)[r] += dt;
         if (mpi::is_collective(k)) at(DensityMetric::CollTime)[r] += dt;
       } else {
-        at(DensityMetric::PosixBytes)[r] += static_cast<double>(ev.bytes);
+        at(DensityMetric::PosixBytes)[r] += w * static_cast<double>(ev.bytes);
         at(DensityMetric::PosixTime)[r] += dt;
       }
     }

@@ -33,6 +33,10 @@ void TemporalMapModule::register_on(bb::Blackboard& board,
       const auto r = static_cast<std::size_t>(ev.rank);
       if (r >= acc->map.per_rank.size()) continue;
       auto& row = acc->map.per_rank[r];
+      // Weighted records (degraded instrumentation) span a per-call
+      // average interval; each overlapped chunk is scaled so the row's
+      // total still equals the calls' total time.
+      const double w = static_cast<double>(inst::event_weight(ev));
       // Distribute [t_begin, t_end) over the bins it overlaps.
       double t = std::max(0.0, ev.t_begin);
       const double end = std::max(t, ev.t_end);
@@ -41,7 +45,7 @@ void TemporalMapModule::register_on(bb::Blackboard& board,
         const double bin_end = (static_cast<double>(b) + 1.0) * bin;
         const double chunk = std::min(end, bin_end) - t;
         if (row.size() <= b) row.resize(b + 1, 0.0);
-        row[b] += chunk;
+        row[b] += w * chunk;
         t += chunk;
         if (chunk <= 0) break;  // numerical guard
       }
@@ -117,9 +121,13 @@ void WaitStateModule::register_on(bb::Blackboard& board,
            if (excess <= thr) continue;
            const auto r = static_cast<std::size_t>(ev.rank);
            if (r >= acc->waits.late_time_per_rank.size()) continue;
-           acc->waits.late_time_per_rank[r] += excess;
+           // Sampled records extrapolate: the kept completion stands for
+           // `w` similar ones. (Aggregated records have peer == -1 and
+           // never reach here.)
+           const double w = static_cast<double>(inst::event_weight(ev));
+           acc->waits.late_time_per_rank[r] += w * excess;
            acc->waits.pair_wait[AppResults::comm_key(ev.rank, ev.peer)] +=
-               excess;
+               w * excess;
          }
        }});
 }

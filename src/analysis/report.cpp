@@ -133,6 +133,27 @@ void chapter(std::ofstream& md, const AppResults& app,
        << "- stream payload delivered: "
        << format_bytes(static_cast<double>(app.telemetry.stream_bytes))
        << "\n";
+    if (app.telemetry.failover_joins != 0) {
+      md << "- links adopted after analyzer failover: "
+         << app.telemetry.failover_joins << "\n"
+         << "- blocks replayed from resend windows: "
+         << app.telemetry.blocks_replayed << "\n";
+    }
+  }
+
+  const auto& dg = app.degrade;
+  if (dg.packs_full + dg.packs_sampled + dg.packs_aggregated != 0) {
+    md << "\n### Fidelity (degradation ladder)\n\n";
+    if (dg.degraded()) {
+      md << "**Parts of this chapter are statistical estimates**: overload "
+            "stepped the instrumentation down the degradation ladder. "
+            "Sampled windows extrapolate each kept event by its stride; "
+            "aggregated windows reduce to per-window weighted averages "
+            "(no per-event timing or topology).\n\n";
+    }
+    md << "- full-fidelity packs: " << dg.packs_full << "\n"
+       << "- sampled packs: " << dg.packs_sampled << "\n"
+       << "- aggregated packs: " << dg.packs_aggregated << "\n";
   }
 
   if (!app.loss.clean() || app.loss.blocks_retried != 0) {
@@ -190,17 +211,16 @@ bool write_report(const std::string& output_dir,
 
     const auto& tel = health->telemetry;
     if (tel.jobs_executed != 0 || tel.blocks_read != 0) {
+      // Only virtual-time-deterministic totals are printed here, so two
+      // same-seed runs emit bit-identical reports. Scheduling-dependent
+      // counters (job executions, steals, batch shapes, empty polls) stay
+      // in SessionTelemetry and the metrics.json export.
       md << "\n## Engine telemetry\n\n"
-         << "Reduced over every analyzer rank — how hard the measurement "
-            "machinery worked to produce this report.\n\n"
-         << "- blackboard jobs executed: " << tel.jobs_executed << "\n"
-         << "- jobs migrated between workers (steals): " << tel.jobs_stolen
-         << "\n"
-         << "- submission batches: " << tel.batches_submitted << "\n"
+         << "Reduced over every surviving analyzer rank — deterministic "
+            "transport totals; scheduling-dependent engine counters are "
+            "exported via metrics instead of this report.\n\n"
          << "- stream blocks drained: " << tel.blocks_read << " ("
-         << format_bytes(static_cast<double>(tel.bytes_read)) << ")\n"
-         << "- empty non-blocking stream polls: " << tel.eagain_returns
-         << "\n";
+         << format_bytes(static_cast<double>(tel.bytes_read)) << ")\n";
     }
   }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -46,6 +47,27 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   }
   if (errno == ERANGE) {
     warn_bad_env(name, v, "out-of-range integer", shown);
+    return fallback;
+  }
+  return parsed;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  while (*end != '\0' && std::isspace(static_cast<unsigned char>(*end)))
+    ++end;
+  char shown[32];
+  std::snprintf(shown, sizeof shown, "%g", fallback);
+  if (end == v || *end != '\0') {
+    warn_bad_env(name, v, "malformed number", shown);
+    return fallback;
+  }
+  if (errno == ERANGE || !std::isfinite(parsed)) {
+    warn_bad_env(name, v, "out-of-range number", shown);
     return fallback;
   }
   return parsed;

@@ -23,6 +23,11 @@ std::int64_t env_int(const char* name, std::int64_t fallback);
 /// falls back with a one-time stderr warning.
 bool env_flag(const char* name, bool fallback = false);
 
+/// Read a floating-point env var (strtod grammar, so "2e-3" works; a
+/// virtual-time knob is naturally fractional). Malformed or non-finite
+/// values fall back with a one-time stderr warning.
+double env_double(const char* name, double fallback);
+
 /// Read a string env var.
 std::string env_str(const char* name, const std::string& fallback);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/env.hpp"
 #include "common/io_writers.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -28,10 +29,45 @@ std::shared_ptr<an::AnalysisResults> Session::run() {
   if (apps_.empty()) throw std::logic_error("no applications added");
   ran_ = true;
 
+  // Ops-facing environment overrides for the failure-handling machinery
+  // (documented in README.md). Code-level config supplies the defaults;
+  // a set variable wins.
+  auto& icfg = cfg_.instrument;
+  icfg.failover = env_flag("ESP_HB", icfg.failover);
+  icfg.hb_lease = env_double("ESP_HB_LEASE", icfg.hb_lease);
+  icfg.hb_interval = env_double("ESP_HB_INTERVAL", icfg.hb_interval);
+  icfg.resend_window =
+      static_cast<int>(env_int("ESP_HB_RESEND", icfg.resend_window));
+  icfg.degrade = env_flag("ESP_DEGRADE", icfg.degrade);
+  icfg.degrade_stride = static_cast<std::uint32_t>(
+      env_int("ESP_DEGRADE_STRIDE", icfg.degrade_stride));
+  icfg.degrade_down_threshold = static_cast<std::uint64_t>(env_int(
+      "ESP_DEGRADE_DOWN",
+      static_cast<std::int64_t>(icfg.degrade_down_threshold)));
+  icfg.degrade_up_windows =
+      static_cast<int>(env_int("ESP_DEGRADE_UP", icfg.degrade_up_windows));
+  icfg.degrade_force_mode = static_cast<int>(
+      env_int("ESP_DEGRADE_FORCE", icfg.degrade_force_mode));
+  cfg_.runtime.watchdog_virtual_deadline = env_double(
+      "ESP_SESSION_DEADLINE", cfg_.runtime.watchdog_virtual_deadline);
+  cfg_.runtime.watchdog_stall_seconds = env_double(
+      "ESP_SESSION_STALL", cfg_.runtime.watchdog_stall_seconds);
+
   int total_app_procs = 0;
   for (const auto& a : apps_) total_app_procs += a.nprocs;
   const int n_analyzer =
       std::max(1, total_app_procs / cfg_.analyzer_ratio);
+
+  // Resolve analyzer-relative crash entries: the plan author names a rank
+  // *within the analyzer partition* (its world ranks depend on the
+  // application mix, only known here). Out-of-range entries stay flagged
+  // and are ignored by the injector rather than hitting an app rank.
+  for (auto& c : cfg_.faults.crashes) {
+    if (!c.analyzer_rank) continue;
+    if (c.world_rank < 0 || c.world_rank >= n_analyzer) continue;
+    c.world_rank += total_app_procs;
+    c.analyzer_rank = false;
+  }
 
   auto results = std::make_shared<an::AnalysisResults>();
   an::AnalyzerConfig acfg = cfg_.analyzer;

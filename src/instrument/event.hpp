@@ -55,10 +55,28 @@ struct Event {
   std::uint64_t bytes = 0;
   double t_begin = 0.0;  ///< Virtual seconds.
   double t_end = 0.0;
-  std::uint8_t context[216] = {};  ///< Call context (stack, counters).
+  /// Statistical weight under degraded instrumentation: how many real
+  /// calls this record stands for (0 means 1, so a zeroed event from a
+  /// full-fidelity producer keeps its old meaning). A sampled event
+  /// carries its stride; an aggregated event the per-window hit count.
+  std::uint32_t weight = 0;
+  std::uint8_t context[212] = {};  ///< Call context (stack, counters).
 };
 static_assert(std::is_trivially_copyable_v<Event>);
 static_assert(sizeof(Event) == 256);
+
+/// Statistical weight of one event record (see Event::weight).
+constexpr std::uint64_t event_weight(const Event& ev) noexcept {
+  return ev.weight == 0 ? 1 : ev.weight;
+}
+
+/// Fidelity mode of one event pack — the degradation ladder's rung at the
+/// time the pack was flushed (§ overload-adaptive degradation).
+enum class PackMode : std::uint32_t {
+  Full = 0,        ///< Every call recorded.
+  Sampled = 1,     ///< 1-in-N sampling; kept events weigh N.
+  Aggregated = 2,  ///< One synthetic event per kind per window.
+};
 
 /// Pack header at the start of every streamed block.
 struct PackHeader {
@@ -67,10 +85,13 @@ struct PackHeader {
   std::int32_t app_rank = 0;   ///< Producer's rank within its partition.
   std::uint32_t event_count = 0;
   std::uint64_t seq = 0;       ///< Per-producer pack sequence number.
+  std::uint32_t mode = 0;          ///< PackMode at flush time.
+  std::uint32_t sample_stride = 1; ///< 1-in-N stride when mode == Sampled.
 
   static constexpr std::uint32_t kMagic = 0x45535031;  // "ESP1"
 };
 static_assert(std::is_trivially_copyable_v<PackHeader>);
+static_assert(sizeof(PackHeader) == 32);
 
 /// How many events fit in one block of `block_size` bytes.
 constexpr std::uint32_t pack_capacity(std::uint64_t block_size) noexcept {

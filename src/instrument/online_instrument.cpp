@@ -1,6 +1,8 @@
 #include "instrument/online_instrument.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <map>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -19,6 +21,10 @@ struct InstObs {
   obs::Counter& events = obs::counter("inst.events");
   obs::Counter& packs = obs::counter("inst.packs");
   obs::Counter& bytes = obs::counter("inst.bytes_streamed");
+  obs::Counter& steps_down = obs::counter("inst.degrade_steps_down");
+  obs::Counter& steps_up = obs::counter("inst.degrade_steps_up");
+  obs::Counter& sampled_out = obs::counter("inst.calls_sampled_out");
+  obs::Counter& aggregated = obs::counter("inst.calls_aggregated");
 };
 
 InstObs& iobs() {
@@ -48,6 +54,31 @@ struct OnlineInstrument::RankState {
   std::uint64_t bytes_streamed = 0;
   bool open = false;
 
+  // Degradation ladder. A "window" is `capacity` observed calls — the
+  // call budget of one full-fidelity pack — so every rung flushes (and
+  // re-evaluates the ladder) at the same cadence.
+  PackMode mode = PackMode::Full;
+  std::uint32_t stride = 1;          ///< Active 1-in-N stride (Sampled).
+  std::uint64_t sample_tick = 0;     ///< Call index for the sampler.
+  std::uint64_t window_calls = 0;    ///< Calls observed since last flush.
+  std::uint64_t last_bp_waits = 0;   ///< Pressure baseline at last flush.
+  int clear_windows = 0;
+  std::uint64_t windows_full = 0;
+  std::uint64_t windows_sampled = 0;
+  std::uint64_t windows_aggregated = 0;
+  std::uint64_t sampled_out = 0;
+  std::uint64_t aggregated_calls = 0;
+
+  /// Per-kind accumulator for the Aggregated rung; materialized into
+  /// synthetic weighted events at each flush.
+  struct AggCell {
+    std::uint64_t hits = 0;
+    std::uint64_t bytes = 0;
+    double time = 0.0;
+    double t_last = 0.0;
+  };
+  std::map<std::uint32_t, AggCell> agg;
+
   explicit RankState(const vmpi::StreamConfig& scfg)
       : stream(scfg), pack(scfg.block_size) {}
 };
@@ -71,8 +102,17 @@ void OnlineInstrument::on_init(mpi::RankContext& rc) {
                              cfg_.analyzer_partition);
 
   vmpi::StreamConfig scfg{cfg_.block_size, cfg_.n_async, cfg_.policy};
+  scfg.failover = cfg_.failover;
+  scfg.hb_lease = cfg_.hb_lease;
+  scfg.hb_interval = cfg_.hb_interval;
+  scfg.resend_window = cfg_.resend_window;
   auto st = std::make_unique<RankState>(scfg);
   st->capacity = pack_capacity(cfg_.block_size);
+  if (cfg_.degrade_force_mode >= 0) {
+    st->mode = static_cast<PackMode>(cfg_.degrade_force_mode);
+    if (st->mode == PackMode::Sampled)
+      st->stride = std::max<std::uint32_t>(1, cfg_.degrade_stride);
+  }
 
   // Build the ProcEnv view this tool needs (on_init runs before main).
   mpi::ProcEnv env;
@@ -104,8 +144,80 @@ void OnlineInstrument::append(mpi::RankContext& rc, RankState& st,
   if (st.count == st.capacity) flush(rc, st);
 }
 
+void OnlineInstrument::record(mpi::RankContext& rc, RankState& st,
+                              const Event& ev) {
+  ++st.window_calls;
+  switch (st.mode) {
+    case PackMode::Full:
+      append(rc, st, ev);
+      break;
+    case PackMode::Sampled:
+      // Deterministic 1-in-N: the kept record carries the stride as its
+      // statistical weight; skipped calls cost nothing (the sampler's
+      // branch is negligible next to timestamping + the 256-byte append).
+      if (st.sample_tick++ % st.stride == 0) {
+        Event w = ev;
+        w.weight = st.stride;
+        append(rc, st, w);
+      } else {
+        ++st.sampled_out;
+        if (obs::enabled()) iobs().sampled_out.add(1);
+      }
+      break;
+    case PackMode::Aggregated: {
+      auto& cell = st.agg[static_cast<std::uint32_t>(ev.kind)];
+      ++cell.hits;
+      cell.bytes += ev.bytes;
+      cell.time += ev.t_end - ev.t_begin;
+      cell.t_last = ev.t_end;
+      ++st.aggregated_calls;
+      if (obs::enabled()) iobs().aggregated.add(1);
+      break;
+    }
+  }
+  // Sampled/Aggregated packs fill far slower than one pack per
+  // `capacity` calls (or never, for aggregation) — flush on the window
+  // boundary so the ladder re-evaluates at a mode-independent cadence.
+  if (st.window_calls >= st.capacity) flush(rc, st);
+}
+
 void OnlineInstrument::flush(mpi::RankContext& rc, RankState& st) {
-  if (st.count == 0 || !st.open) return;
+  if (!st.open) return;
+  // Materialize the Aggregated rung's accumulators into synthetic
+  // weighted events: weight = hits, bytes/duration = per-call averages,
+  // stamped at the window's end with no peer (topology and wait-state
+  // analysis skip them by construction). The weighted module rule
+  // (hits += w, time += w*dt, bytes += w*bytes) then recovers the window
+  // totals, up to integer-average rounding on bytes.
+  if (st.mode == PackMode::Aggregated) {
+    for (const auto& [kind, cell] : st.agg) {
+      // A tiny block size can hold fewer events than there are distinct
+      // kinds; ship the partial pack and keep materializing.
+      if (st.count == st.capacity) write_pack(rc, st);
+      Event ev;
+      ev.kind = static_cast<EventKind>(kind);
+      ev.rank = rc.partition_rank;
+      ev.peer = -1;
+      ev.bytes = cell.hits > 0 ? cell.bytes / cell.hits : 0;
+      const double avg_dt =
+          cell.hits > 0 ? cell.time / static_cast<double>(cell.hits) : 0.0;
+      ev.t_begin = cell.t_last - avg_dt;
+      ev.t_end = cell.t_last;
+      ev.weight = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(cell.hits, 0xffffffffu));
+      auto* base = st.pack.data() + sizeof(PackHeader);
+      std::memcpy(base + st.count * sizeof(Event), &ev, sizeof(Event));
+      ++st.count;
+      ++st.events;
+    }
+    st.agg.clear();
+  }
+  if (st.count > 0) write_pack(rc, st);
+  st.window_calls = 0;
+  ladder_update(st);
+}
+
+void OnlineInstrument::write_pack(mpi::RankContext& rc, RankState& st) {
   const bool obs_on = obs::enabled();
   const double t_begin = rc.clock;
   PackHeader h;
@@ -113,6 +225,8 @@ void OnlineInstrument::flush(mpi::RankContext& rc, RankState& st) {
   h.app_rank = rc.partition_rank;
   h.event_count = st.count;
   h.seq = st.seq++;
+  h.mode = static_cast<std::uint32_t>(st.mode);
+  h.sample_stride = st.mode == PackMode::Sampled ? st.stride : 1;
   std::memcpy(st.pack.data(), &h, sizeof h);
   // Full packs ship as whole blocks; the finalize tail ships only its
   // used bytes (a real tool does not pad its last buffer to 1 MB).
@@ -122,12 +236,49 @@ void OnlineInstrument::flush(mpi::RankContext& rc, RankState& st) {
   st.bytes_streamed += used;
   st.count = 0;
   ++st.packs;
+  switch (st.mode) {
+    case PackMode::Full: ++st.windows_full; break;
+    case PackMode::Sampled: ++st.windows_sampled; break;
+    case PackMode::Aggregated: ++st.windows_aggregated; break;
+  }
   if (obs_on) {
     auto& o = iobs();
     o.packs.add(1);
     o.bytes.add(used);
     obs::trace_span("inst", "inst.flush", t_begin, rc.clock, count,
                     "events", used, "bytes");
+  }
+}
+
+void OnlineInstrument::ladder_update(RankState& st) {
+  if (!cfg_.degrade || cfg_.degrade_force_mode >= 0) return;
+  // Pressure signal: backpressure waits accumulated during the window
+  // that just flushed — virtual-time stalls of this rank's stream writer
+  // (see Stream::acquire_out_buf), so the ladder replays identically
+  // run-to-run.
+  const std::uint64_t bp = st.stream.stats().backpressure_waits;
+  const std::uint64_t delta = bp - st.last_bp_waits;
+  st.last_bp_waits = bp;
+  if (delta >= cfg_.degrade_down_threshold) {
+    st.clear_windows = 0;
+    if (st.mode == PackMode::Full) {
+      st.mode = PackMode::Sampled;
+      st.stride = std::max<std::uint32_t>(1, cfg_.degrade_stride);
+      if (obs::enabled()) iobs().steps_down.add(1);
+    } else if (st.mode == PackMode::Sampled) {
+      st.mode = PackMode::Aggregated;
+      if (obs::enabled()) iobs().steps_down.add(1);
+    }
+    return;
+  }
+  if (st.mode == PackMode::Full) return;
+  if (++st.clear_windows >= cfg_.degrade_up_windows) {
+    st.clear_windows = 0;
+    st.mode = st.mode == PackMode::Aggregated ? PackMode::Sampled
+                                              : PackMode::Full;
+    if (st.mode == PackMode::Sampled)
+      st.stride = std::max<std::uint32_t>(1, cfg_.degrade_stride);
+    if (obs::enabled()) iobs().steps_up.add(1);
   }
 }
 
@@ -141,7 +292,7 @@ void OnlineInstrument::on_call(mpi::RankContext& rc, const mpi::CallInfo& ci) {
   ev.bytes = ci.bytes;
   ev.t_begin = ci.t_begin;
   ev.t_end = ci.t_end;
-  append(rc, st, ev);
+  record(rc, st, ev);
 }
 
 void OnlineInstrument::on_finalize(mpi::RankContext& rc) {
@@ -152,6 +303,11 @@ void OnlineInstrument::on_finalize(mpi::RankContext& rc) {
   total_events_.fetch_add(st.events);
   total_packs_.fetch_add(st.packs);
   total_bytes_.fetch_add(st.bytes_streamed);
+  total_windows_full_.fetch_add(st.windows_full);
+  total_windows_sampled_.fetch_add(st.windows_sampled);
+  total_windows_agg_.fetch_add(st.windows_aggregated);
+  total_sampled_out_.fetch_add(st.sampled_out);
+  total_aggregated_.fetch_add(st.aggregated_calls);
   g_rank_state = nullptr;
   g_rank_tool = nullptr;
 }
@@ -166,7 +322,7 @@ void OnlineInstrument::record_posix(EventKind kind, std::uint64_t bytes,
   ev.bytes = bytes;
   ev.t_begin = rc.clock - duration;
   ev.t_end = rc.clock;
-  g_rank_tool->append(rc, *static_cast<RankState*>(g_rank_state), ev);
+  g_rank_tool->record(rc, *static_cast<RankState*>(g_rank_state), ev);
 }
 
 void posix_io(EventKind kind, std::uint64_t bytes, double duration) {
@@ -182,6 +338,11 @@ InstrumentTotals OnlineInstrument::totals() const {
   t.events = total_events_.load();
   t.packs = total_packs_.load();
   t.streamed_bytes = total_bytes_.load();
+  t.windows_full = total_windows_full_.load();
+  t.windows_sampled = total_windows_sampled_.load();
+  t.windows_aggregated = total_windows_agg_.load();
+  t.calls_sampled_out = total_sampled_out_.load();
+  t.calls_aggregated = total_aggregated_.load();
   return t;
 }
 

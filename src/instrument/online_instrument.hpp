@@ -31,13 +31,43 @@ struct InstrumentConfig {
   double per_event_cost = 1.0e-6;
   /// Mapping policy from instrumented partition to the analyzer.
   vmpi::MapPolicy map_policy = vmpi::MapPolicy::RoundRobin;
+
+  // ---- reader-liveness / failover passthrough (see StreamConfig) ----
+  bool failover = true;
+  double hb_lease = 2e-3;
+  double hb_interval = 5e-4;
+  int resend_window = 4;
+
+  // ---- overload-adaptive degradation ladder ----
+  /// Step fidelity down when the producer outruns the analyzer: full
+  /// events -> 1-in-N sampling -> per-window aggregated counters, and back
+  /// up after clear windows. The pressure signal is the stream's
+  /// backpressure-wait delta per flush window, judged in *virtual* time
+  /// (a write stalled iff reclaiming its buffer advanced the writer's
+  /// clock), so the adaptive ladder is as deterministic as the rest of
+  /// the simulation. OFF by default because degrading changes what the
+  /// report measures; `degrade_force_mode` pins a rung for tests and
+  /// ablations.
+  bool degrade = false;
+  std::uint32_t degrade_stride = 8;  ///< 1-in-N stride at the Sampled rung.
+  /// Backpressure waits within one flush window that trigger a step down.
+  std::uint64_t degrade_down_threshold = 1;
+  /// Consecutive clear windows before stepping one rung back up.
+  int degrade_up_windows = 2;
+  /// Pin the ladder to a rung (PackMode value 0/1/2); -1 = adaptive.
+  int degrade_force_mode = -1;
 };
 
 /// Aggregate counters across all instrumented ranks (read after run()).
 struct InstrumentTotals {
-  std::uint64_t events = 0;
+  std::uint64_t events = 0;  ///< Recorded (shipped) event records.
   std::uint64_t packs = 0;
   std::uint64_t streamed_bytes = 0;
+  std::uint64_t windows_full = 0;        ///< Packs flushed at full fidelity.
+  std::uint64_t windows_sampled = 0;     ///< Packs flushed while sampling.
+  std::uint64_t windows_aggregated = 0;  ///< Packs flushed while aggregating.
+  std::uint64_t calls_sampled_out = 0;   ///< Calls skipped by the sampler.
+  std::uint64_t calls_aggregated = 0;    ///< Calls folded into aggregates.
 };
 
 class OnlineInstrument : public mpi::Tool {
@@ -60,8 +90,14 @@ class OnlineInstrument : public mpi::Tool {
  private:
   struct RankState;
   RankState& state(mpi::RankContext& rc);
+  /// Route one observed call through the active ladder rung.
+  void record(mpi::RankContext& rc, RankState& st, const Event& ev);
   void append(mpi::RankContext& rc, RankState& st, const Event& ev);
   void flush(mpi::RankContext& rc, RankState& st);
+  /// Stamp the header and ship the staged pack (flush's write half).
+  void write_pack(mpi::RankContext& rc, RankState& st);
+  /// Re-evaluate the ladder after a flush (window boundary).
+  void ladder_update(RankState& st);
 
   mpi::Runtime& rt_;
   InstrumentConfig cfg_;
@@ -69,6 +105,11 @@ class OnlineInstrument : public mpi::Tool {
   std::atomic<std::uint64_t> total_events_{0};
   std::atomic<std::uint64_t> total_packs_{0};
   std::atomic<std::uint64_t> total_bytes_{0};
+  std::atomic<std::uint64_t> total_windows_full_{0};
+  std::atomic<std::uint64_t> total_windows_sampled_{0};
+  std::atomic<std::uint64_t> total_windows_agg_{0};
+  std::atomic<std::uint64_t> total_sampled_out_{0};
+  std::atomic<std::uint64_t> total_aggregated_{0};
 };
 
 /// Attach online instrumentation to every partition except the analyzer.

@@ -75,7 +75,8 @@ double FaultInjector::crash_time(int world_rank) const noexcept {
   double t = std::numeric_limits<double>::infinity();
   if (!enabled_) return t;
   for (const auto& c : plan_.crashes)
-    if (c.world_rank == world_rank && c.at_time < t) t = c.at_time;
+    if (!c.analyzer_rank && c.world_rank == world_rank && c.at_time < t)
+      t = c.at_time;
   return t;
 }
 
@@ -83,7 +84,8 @@ std::uint64_t FaultInjector::crash_after_calls(int world_rank) const noexcept {
   std::uint64_t n = std::numeric_limits<std::uint64_t>::max();
   if (!enabled_) return n;
   for (const auto& c : plan_.crashes)
-    if (c.world_rank == world_rank && c.after_calls < n) n = c.after_calls;
+    if (!c.analyzer_rank && c.world_rank == world_rank && c.after_calls < n)
+      n = c.after_calls;
   return n;
 }
 

@@ -52,6 +52,13 @@ struct FaultPlan {
     int world_rank = -1;
     double at_time = std::numeric_limits<double>::infinity();
     std::uint64_t after_calls = std::numeric_limits<std::uint64_t>::max();
+    /// When true, `world_rank` is a rank *within the analyzer partition*
+    /// rather than a world rank — the analyzer's world ranks depend on the
+    /// application mix, which the plan author does not know. The session
+    /// resolves the entry to its world rank (and clears the flag) before
+    /// configuring the runtime; an unresolved entry is ignored by the
+    /// injector so a plan cannot accidentally kill an application rank.
+    bool analyzer_rank = false;
   };
 
   /// Per-link message faults; `kAnyRank` endpoints are wildcards.
@@ -108,6 +115,13 @@ class FaultInjector {
   double crash_time(int world_rank) const noexcept;
   /// Call-count crash deadline for a rank (UINT64_MAX when none).
   std::uint64_t crash_after_calls(int world_rank) const noexcept;
+  /// True when the plan schedules any crash for `world_rank`.
+  bool has_crash(int world_rank) const noexcept {
+    return crash_time(world_rank) !=
+               std::numeric_limits<double>::infinity() ||
+           crash_after_calls(world_rank) !=
+               std::numeric_limits<std::uint64_t>::max();
+  }
 
   FaultStats stats() const;
 

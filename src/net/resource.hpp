@@ -13,7 +13,16 @@
 /// Approximation (documented in DESIGN.md): requests are queued in the
 /// order they arrive in *real* time; when ranks' virtual clocks drift this
 /// can reorder grants, which perturbs per-flow ordering but not aggregate
-/// statistics.
+/// statistics. Both resources carry the same causality tolerance: a
+/// request whose service time is covered by recorded *idle credit*
+/// (virtual time the server verifiably spent unreserved) is served at
+/// `start + duration` without moving the frontier, even when it overlaps
+/// the frontier — a fluid approximation of short-term sharing. Capacity
+/// conservation stays exact (credit only accrues from real idle gaps and
+/// every serve debits its full service time), and completions are a pure
+/// function of the request while credit lasts — real-time arrival order
+/// can only matter under sustained saturation, when the credit pool is
+/// drained and contention is physical rather than a scheduling artifact.
 
 #include <cstdint>
 #include <mutex>
@@ -30,10 +39,17 @@ class SerialResource {
   /// `start`. Returns the completion time.
   double acquire(double start, double duration) {
     std::lock_guard lock(mu_);
-    const double begin = start > available_ ? start : available_;
-    available_ = begin + duration;
     ++requests_;
     busy_ += duration;
+    if (start < available_ && idle_credit_ >= duration) {
+      // Covered by recorded past idle time: serve at the request's own
+      // start without moving the frontier (see file comment).
+      idle_credit_ -= duration;
+      return start + duration;
+    }
+    const double begin = start > available_ ? start : available_;
+    idle_credit_ += begin - available_;  // a real idle gap opened
+    available_ = begin + duration;
     return available_;
   }
 
@@ -57,6 +73,7 @@ class SerialResource {
   void reset() {
     std::lock_guard lock(mu_);
     available_ = 0.0;
+    idle_credit_ = 0.0;
     busy_ = 0.0;
     requests_ = 0;
   }
@@ -64,6 +81,7 @@ class SerialResource {
  private:
   mutable std::mutex mu_;
   double available_ = 0.0;
+  double idle_credit_ = 0.0;
   double busy_ = 0.0;
   std::uint64_t requests_ = 0;
 };
@@ -100,9 +118,9 @@ class BandwidthResource {
     auto& lane = lanes_[best];
     ++requests_;
     busy_ += duration;
-    if (start + duration <= lane.frontier && lane.idle_credit >= duration) {
-      // Fits wholly inside recorded past idle time: serve it there
-      // without moving the frontier.
+    if (start < lane.frontier && lane.idle_credit >= duration) {
+      // Covered by recorded past idle time: serve at the request's own
+      // start without moving the frontier (see file comment).
       lane.idle_credit -= duration;
       return start + duration;
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <limits>
 
 #include "net/fault.hpp"
 #include "simmpi/runtime.hpp"
@@ -41,15 +42,20 @@ void complete_match(Runtime& rt, detail::SendItem& s, detail::RecvItem& r) {
             static_cast<std::byte>(1u << (s.corrupt_bit % 8));
     }
   }
-  const double t0 = std::max(s.t_ready, r.t_ready);
-  const double finish = rt.machine().transfer(
-      rt.core_of(s.src_world), rt.core_of(s.dst_world), s.bytes, t0);
+  const double finish =
+      s.wire_booked
+          ? std::max(s.wire_finish, r.t_ready)
+          : rt.machine().transfer(rt.core_of(s.src_world),
+                                  rt.core_of(s.dst_world), s.bytes,
+                                  std::max(s.t_ready, r.t_ready));
   Status st;
   st.source = s.src_world;  // world rank; translated by the owning Comm
   st.tag = s.tag;
   st.bytes = n;
   r.req->complete(finish, st);
   if (s.req) s.req->complete(finish, st);
+  // The copy retired: a crashing endpoint may now unwind (see PinTable).
+  rt.pins().unpin(s.src_world, s.dst_world);
 }
 
 /// Base isend: stages eagerly below the threshold (request completes at
@@ -118,6 +124,30 @@ Request isend_impl(Runtime& rt, RankContext& rc,
   item->t_ready += fault.delay;
   item->corrupt_bit = fault.corrupt_bit;
 
+  // Crash-oracle wire booking. When the destination has a *scheduled*
+  // virtual-time crash, whether a message reaches it before death must not
+  // depend on the real-time race between this sender and the dying
+  // thread's last poll — that race would make the shared-resource
+  // occupancy (NIC, bisection) differ between same-seed runs and leak
+  // timing jitter into every survivor's profile. So the wire is booked
+  // here, as a pure function of the departure time: a message leaving
+  // before the crash always occupies the network (even if the mailbox dies
+  // before matching it), one leaving after it never does. Matching is left
+  // untouched — a not-yet-dead receiver may still consume the payload, but
+  // it is guaranteed to die before anything it learned escapes.
+  if (rt.injector().enabled()) {
+    const double dst_crash = rt.injector().crash_time(dst_world);
+    if (dst_crash != std::numeric_limits<double>::infinity()) {
+      item->wire_booked = true;
+      item->wire_finish =
+          item->t_ready < dst_crash
+              ? rt.machine().transfer(rt.core_of(rc.world_rank),
+                                      rt.core_of(dst_world), bytes,
+                                      item->t_ready)
+              : item->t_ready;
+    }
+  }
+
   if (auto r = rt.mailbox(dst_world).post_send(item)) {
     complete_match(rt, *item, *r);
   }
@@ -127,11 +157,12 @@ Request isend_impl(Runtime& rt, RankContext& rc,
 Request irecv_impl(Runtime& rt, RankContext& rc,
                    const std::shared_ptr<const CommData>& cd,
                    std::uint64_t ctx, void* buf, std::uint64_t bytes,
-                   int src_world, int tag) {
+                   int src_world, int tag, BufferRef keepalive = {}) {
   rc.check_crash();
   rc.advance(rt.config().call_overhead);
   auto item = std::make_shared<detail::RecvItem>();
   item->dst_buf = static_cast<std::byte*>(buf);
+  item->keepalive = std::move(keepalive);
   item->max_bytes = bytes;
   item->ctx = ctx;
   item->src_world = src_world;
@@ -215,6 +246,14 @@ Request Comm::pirecv(void* buf, std::uint64_t bytes, int src, int tag) const {
   const int src_world = src == kAnySource ? kAnySource : world_rank(src);
   return irecv_impl(*data_->rt, rc, data_, data_->ctx, buf, bytes, src_world,
                     tag);
+}
+
+Request Comm::pirecv(const BufferRef& buf, std::uint64_t bytes, int src,
+                     int tag) const {
+  auto& rc = Runtime::self();
+  const int src_world = src == kAnySource ? kAnySource : world_rank(src);
+  return irecv_impl(*data_->rt, rc, data_, data_->ctx, buf->data(), bytes,
+                    src_world, tag, buf);
 }
 
 bool Comm::piprobe(int src, int tag, Status* st) const {

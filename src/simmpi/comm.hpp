@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/buffer.hpp"
 #include "simmpi/request.hpp"
 #include "simmpi/types.hpp"
 
@@ -70,6 +71,11 @@ class Comm {
   Status precv(void* buf, std::uint64_t bytes, int src, int tag) const;
   Request pisend(const void* buf, std::uint64_t bytes, int dst, int tag) const;
   Request pirecv(void* buf, std::uint64_t bytes, int src, int tag) const;
+  /// pirecv into a ref-counted buffer: the posted receive co-owns the
+  /// storage, so a sender matching it after the caller was destroyed
+  /// still copies into live memory.
+  Request pirecv(const BufferRef& buf, std::uint64_t bytes, int src,
+                 int tag) const;
   /// Non-blocking probe for a matching incoming message.
   bool piprobe(int src, int tag, Status* st) const;
 

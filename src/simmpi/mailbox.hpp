@@ -10,6 +10,7 @@
 /// items from one sender arrive in program order.
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -21,6 +22,46 @@
 #include "simmpi/request.hpp"
 
 namespace esp::mpi::detail {
+
+/// Tracks matched message pairs whose payload copy is still in flight.
+///
+/// A match is removed from the mailbox queues under the mailbox lock, but
+/// the copy (complete_match) runs outside it — into the receiver's buffer,
+/// and for rendezvous out of the sender's pinned buffer. A rank crash
+/// unwinds the rank's stack and frees those buffers, so the crash sweep
+/// must wait until every copy touching the dying rank has retired. Pins
+/// are taken under the same mailbox lock that removes the match (no
+/// window between removal and pin) and released by complete_match.
+class PinTable {
+ public:
+  explicit PinTable(int world_size)
+      : pins_(static_cast<std::size_t>(world_size), 0) {}
+
+  void pin(int src_world, int dst_world) {
+    std::lock_guard lock(mu_);
+    ++pins_[static_cast<std::size_t>(src_world)];
+    ++pins_[static_cast<std::size_t>(dst_world)];
+  }
+
+  void unpin(int src_world, int dst_world) {
+    std::lock_guard lock(mu_);
+    --pins_[static_cast<std::size_t>(src_world)];
+    --pins_[static_cast<std::size_t>(dst_world)];
+    cv_.notify_all();
+  }
+
+  /// Block until no in-flight copy touches `world_rank`'s buffers.
+  void wait_idle(int world_rank) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock,
+             [&] { return pins_[static_cast<std::size_t>(world_rank)] == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<int> pins_;
+};
 
 struct SendItem {
   int src_world = -1;
@@ -37,12 +78,22 @@ struct SendItem {
   std::uint64_t seq = 0;  ///< Sender-side sequence, diagnostic.
   /// Fault injection: payload bit index to flip at delivery, or -1.
   std::int64_t corrupt_bit = -1;
+  /// Wire already booked (or deliberately skipped) at send time: the
+  /// destination has a scheduled virtual-time crash, so occupancy must be
+  /// a pure function of sender state — see isend_impl.
+  bool wire_booked = false;
+  double wire_finish = 0.0;
   /// Sender completion (rendezvous isend/send); null when eager-complete.
   Request req;
 };
 
 struct RecvItem {
   std::byte* dst_buf = nullptr;
+  /// Keeps dst_buf's backing storage alive until the item is dropped. A
+  /// stream reader can be destroyed (normal exit after kEpipe, failover
+  /// grace expiry) while slot receives are still posted; a sender that
+  /// matches one of those later must never copy into freed memory.
+  BufferRef keepalive;
   std::uint64_t max_bytes = 0;
   std::uint64_t ctx = 0;
   int src_world = kAnySource;  ///< Matching world rank, or kAnySource.
@@ -61,6 +112,8 @@ inline bool matches(const SendItem& s, const RecvItem& r) noexcept {
 
 class Mailbox {
  public:
+  explicit Mailbox(PinTable* pins = nullptr) : pins_(pins) {}
+
   /// Post a send; if a posted receive matches, returns it (removed).
   /// When the owning rank has crashed, the send is refused: a rendezvous
   /// sender is completed with kErrPeerDead (eager sends were already
@@ -74,6 +127,7 @@ class Mailbox {
           if (matches(*s, **it)) {
             auto r = *it;
             recvs_.erase(it);
+            if (pins_ != nullptr) pins_->pin(s->src_world, s->dst_world);
             return r;
           }
         }
@@ -102,6 +156,7 @@ class Mailbox {
         if (matches(**it, *r)) {
           auto s = *it;
           sends_.erase(it);
+          if (pins_ != nullptr) pins_->pin(s->src_world, s->dst_world);
           return s;
         }
       }
@@ -118,8 +173,13 @@ class Mailbox {
   /// Every posted specific-source receive on it is completed with
   /// kErrPeerDead, and future such receives fail fast (see post_recv).
   /// Wildcard receives are left armed — a live sender may still match.
+  /// Queued *rendezvous* sends from the dead rank are purged too: their
+  /// payload pointer targets the dead rank's unwound stack, so a later
+  /// match would copy from freed memory. Eager sends own a staged copy
+  /// and stay deliverable — they were already on the wire.
   void fail_source(int src_world, double t) {
     std::vector<std::shared_ptr<RecvItem>> failed;
+    std::vector<std::shared_ptr<SendItem>> purged;
     {
       std::lock_guard lock(mu_);
       dead_srcs_.insert(src_world);
@@ -131,8 +191,24 @@ class Mailbox {
           ++it;
         }
       }
+      for (auto it = sends_.begin(); it != sends_.end();) {
+        if ((*it)->src_world == src_world && !(*it)->eager_mode) {
+          purged.push_back(*it);
+          it = sends_.erase(it);
+        } else {
+          ++it;
+        }
+      }
     }
     for (auto& r : failed) fail_recv(*r, std::max(t, r->t_ready));
+    for (auto& s : purged) {
+      if (!s->req) continue;
+      Status st;
+      st.source = s->src_world;
+      st.tag = s->tag;
+      st.error = kErrPeerDead;
+      s->req->complete(std::max(t, s->t_ready), st);
+    }
   }
 
   /// Crash sweep, owner side: the rank owning this mailbox died at `t`.
@@ -197,6 +273,7 @@ class Mailbox {
   }
 
   std::mutex mu_;
+  PinTable* pins_ = nullptr;
   std::deque<std::shared_ptr<SendItem>> sends_;
   std::deque<std::shared_ptr<RecvItem>> recvs_;
   std::unordered_set<int> dead_srcs_;

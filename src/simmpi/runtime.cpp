@@ -2,8 +2,12 @@
 
 #include <pthread.h>
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 #include "common/hash.hpp"
@@ -26,6 +30,27 @@ RankContext& Runtime::self() {
 }
 
 bool Runtime::on_rank_thread() noexcept { return g_self != nullptr; }
+
+void RankContext::check_crash() {
+  ++calls_made;
+  rt->note_progress(*this);
+  if (!crashed && (clock >= crash_at || calls_made > crash_after_calls)) {
+    crashed = true;
+    throw RankCrashedError{world_rank, clock};
+  }
+}
+
+void RankContext::poll_scheduled_crash() {
+  if (crashed || crash_at == std::numeric_limits<double>::infinity()) return;
+  if (clock >= crash_at || rt->max_progress() >= crash_at) {
+    // Die at the scheduled instant, not at whatever stale clock the idle
+    // wait froze on: the death record must be the same virtual time on
+    // every run for the loss ledger to be reproducible.
+    clock = std::max(clock, crash_at);
+    crashed = true;
+    throw RankCrashedError{world_rank, clock};
+  }
+}
 
 Runtime::Runtime(RuntimeConfig cfg, std::vector<ProgramSpec> programs)
     : cfg_(cfg),
@@ -52,8 +77,9 @@ Runtime::Runtime(RuntimeConfig cfg, std::vector<ProgramSpec> programs)
   world_size_ = next;
 
   mailboxes_.reserve(static_cast<std::size_t>(world_size_));
+  pins_ = std::make_unique<detail::PinTable>(world_size_);
   for (int r = 0; r < world_size_; ++r)
-    mailboxes_.push_back(std::make_unique<detail::Mailbox>());
+    mailboxes_.push_back(std::make_unique<detail::Mailbox>(pins_.get()));
   final_clock_.assign(static_cast<std::size_t>(world_size_), 0.0);
 
   injector_.configure(cfg_.faults, cfg_.seed);
@@ -61,9 +87,15 @@ Runtime::Runtime(RuntimeConfig cfg, std::vector<ProgramSpec> programs)
       static_cast<std::size_t>(world_size_));
   rank_done_ = std::make_unique<std::atomic<bool>[]>(
       static_cast<std::size_t>(world_size_));
+  death_time_ = std::make_unique<std::atomic<double>[]>(
+      static_cast<std::size_t>(world_size_));
+  progress_ = std::make_unique<RankProgress[]>(
+      static_cast<std::size_t>(world_size_));
   for (int r = 0; r < world_size_; ++r) {
     rank_dead_[static_cast<std::size_t>(r)].store(false);
     rank_done_[static_cast<std::size_t>(r)].store(false);
+    death_time_[static_cast<std::size_t>(r)].store(
+        std::numeric_limits<double>::infinity());
   }
 
   std::vector<int> all(static_cast<std::size_t>(world_size_));
@@ -81,7 +113,14 @@ Runtime::Runtime(RuntimeConfig cfg, std::vector<ProgramSpec> programs)
   }
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  // Defensive: run() joins the watchdog on every path it starts it, but a
+  // Runtime destroyed without run() completing must not leak the thread.
+  if (watchdog_.joinable()) {
+    watchdog_stop_.store(true, std::memory_order_release);
+    watchdog_.join();
+  }
+}
 
 const PartitionDesc* Runtime::partition_by_name(std::string_view name) const {
   for (const auto& d : partitions_)
@@ -114,11 +153,23 @@ std::vector<RankDeath> Runtime::deaths() const {
   return deaths_;
 }
 
+void Runtime::note_progress(const RankContext& rc) noexcept {
+  auto& p = progress_[static_cast<std::size_t>(rc.world_rank)];
+  p.clock.store(rc.clock, std::memory_order_relaxed);
+  p.calls.store(rc.calls_made, std::memory_order_relaxed);
+  double cur = max_progress_.load(std::memory_order_relaxed);
+  while (rc.clock > cur && !max_progress_.compare_exchange_weak(
+                               cur, rc.clock, std::memory_order_relaxed)) {
+  }
+}
+
 void Runtime::on_rank_crashed(const RankContext& rc, std::uint64_t calls) {
   {
     std::lock_guard lock(deaths_mu_);
     deaths_.push_back(RankDeath{rc.world_rank, rc.clock, calls});
   }
+  death_time_[static_cast<std::size_t>(rc.world_rank)].store(
+      rc.clock, std::memory_order_release);
   rank_dead_[static_cast<std::size_t>(rc.world_rank)].store(
       true, std::memory_order_release);
   // Release everyone the dead rank could still block: receivers waiting on
@@ -131,6 +182,11 @@ void Runtime::on_rank_crashed(const RankContext& rc, std::uint64_t calls) {
   }
   mailboxes_[static_cast<std::size_t>(rc.world_rank)]->kill_destination(
       rc.clock);
+  // Matches removed from the queues before the sweep may still be copying
+  // into (or out of) this rank's buffers on other threads. Unwinding the
+  // rank's stack frees those buffers, so wait for every in-flight copy
+  // touching this rank to retire first.
+  pins_->wait_idle(rc.world_rank);
 }
 
 void Runtime::dispatch_tools(RankContext& rc, const CallInfo& ci) {
@@ -201,9 +257,71 @@ void Runtime::rank_main(int world_rank) {
   g_self = nullptr;
 }
 
+void Runtime::dump_progress_and_abort(const char* why) {
+  std::fprintf(stderr,
+               "esperf: session watchdog fired (%s); per-rank last progress "
+               "(virtual clock / p-layer calls / state):\n",
+               why);
+  for (int r = 0; r < world_size_; ++r) {
+    const auto& p = progress_[static_cast<std::size_t>(r)];
+    const char* state = rank_dead(r)       ? "dead"
+                        : rank_finished(r) ? "finished"
+                                           : "running";
+    const auto& part = partition_of_world(r);
+    std::fprintf(stderr, "  rank %d (%s/%d): clock=%.9fs calls=%llu %s\n", r,
+                 part.name.c_str(), r - part.first_world_rank,
+                 p.clock.load(std::memory_order_relaxed),
+                 static_cast<unsigned long long>(
+                     p.calls.load(std::memory_order_relaxed)),
+                 state);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+void Runtime::watchdog_loop() {
+  // Real-time sampling of virtual-time progress. Two triggers:
+  //  - the virtual frontier passed the configured deadline (the simulated
+  //    job ran far longer than the scenario allows — livelock);
+  //  - nothing moved for watchdog_stall_seconds of real time while ranks
+  //    are still running (deadlock / wedged wait).
+  const auto period = std::chrono::milliseconds(100);
+  auto last_change = std::chrono::steady_clock::now();
+  double last_max = -1.0;
+  std::uint64_t last_calls = 0;
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(period);
+    if (watchdog_stop_.load(std::memory_order_acquire)) return;
+    bool all_done = true;
+    std::uint64_t calls = 0;
+    for (int r = 0; r < world_size_; ++r) {
+      if (!rank_finished(r)) all_done = false;
+      calls += progress_[static_cast<std::size_t>(r)].calls.load(
+          std::memory_order_relaxed);
+    }
+    if (all_done) return;
+    const double vmax = max_progress();
+    if (cfg_.watchdog_virtual_deadline > 0.0 &&
+        vmax > cfg_.watchdog_virtual_deadline)
+      dump_progress_and_abort("virtual-time deadline exceeded");
+    if (vmax != last_max || calls != last_calls) {
+      last_max = vmax;
+      last_calls = calls;
+      last_change = std::chrono::steady_clock::now();
+    } else if (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             last_change)
+                   .count() > cfg_.watchdog_stall_seconds) {
+      dump_progress_and_abort("no progress (stalled)");
+    }
+  }
+}
+
 void Runtime::run() {
   if (ran_) throw std::logic_error("Runtime::run() may only be called once");
   ran_ = true;
+
+  if (cfg_.watchdog_virtual_deadline > 0.0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
 
   pthread_attr_t attr;
   pthread_attr_init(&attr);
@@ -224,6 +342,10 @@ void Runtime::run() {
   }
   pthread_attr_destroy(&attr);
   for (auto& t : threads) pthread_join(t, nullptr);
+  if (watchdog_.joinable()) {
+    watchdog_stop_.store(true, std::memory_order_release);
+    watchdog_.join();
+  }
   if (first_error_) std::rethrow_exception(first_error_);
 }
 

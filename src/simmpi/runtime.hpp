@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -79,15 +80,20 @@ struct RankContext {
   void advance(double dt) noexcept { clock += dt; }
 
   /// Crash checkpoint, invoked at every p-layer call entry. Counts the
-  /// call and throws RankCrashedError exactly once when either trigger
-  /// (virtual-time deadline or call budget) has been reached.
-  void check_crash() {
-    ++calls_made;
-    if (!crashed && (clock >= crash_at || calls_made > crash_after_calls)) {
-      crashed = true;
-      throw RankCrashedError{world_rank, clock};
-    }
-  }
+  /// call, publishes this rank's progress (clock + call count) for the
+  /// watchdog and for idle-crash polling, and throws RankCrashedError
+  /// exactly once when either trigger (virtual-time deadline or call
+  /// budget) has been reached. Out-of-line: it needs the full Runtime.
+  void check_crash();
+
+  /// Idle-crash poll for blocking loops that make no p-layer calls while
+  /// waiting (a stream reader parked on a waitset): a rank whose virtual
+  /// clock is frozen would otherwise never reach an `at_time` crash
+  /// scheduled during its wait. When the *global* maximum progress clock
+  /// has passed this rank's crash deadline the crash is fired now, with
+  /// the clock advanced to the deadline — the same virtual instant every
+  /// run, regardless of how long the real-time wait took.
+  void poll_scheduled_crash();
 };
 
 /// What a program's main receives on each of its ranks.
@@ -126,6 +132,14 @@ struct RuntimeConfig {
   /// Deterministic fault schedule (empty = fault-free run). Decisions are
   /// derived from `seed`, so seed + plan reproduce identical failures.
   net::FaultPlan faults;
+  /// Session watchdog (0 = disabled): abort the process with a per-rank
+  /// progress dump when any virtual clock exceeds this deadline — a wedged
+  /// session fails loudly instead of hanging until the ctest timeout.
+  double watchdog_virtual_deadline = 0.0;
+  /// Watchdog stall trigger: real seconds without *any* rank making
+  /// progress (clock or call count) before the session is declared wedged.
+  /// Only armed together with watchdog_virtual_deadline.
+  double watchdog_stall_seconds = 30.0;
 };
 
 class Runtime {
@@ -174,6 +188,8 @@ class Runtime {
   detail::Mailbox& mailbox(int world_rank) {
     return *mailboxes_[static_cast<std::size_t>(world_rank)];
   }
+  /// In-flight matched-copy registry (crash/unwind synchronization).
+  detail::PinTable& pins() noexcept { return *pins_; }
   /// Block mapping: world rank r runs on global core r.
   int core_of(int world_rank) const noexcept { return world_rank; }
   /// Allocate a fresh context id (used by split/dup).
@@ -193,6 +209,20 @@ class Runtime {
     return rank_done_[static_cast<std::size_t>(world_rank)].load(
         std::memory_order_acquire);
   }
+  /// Virtual clock at which `world_rank` died, or +inf while it lives.
+  /// Published before rank_dead() flips, so a true rank_dead() always
+  /// observes the final value.
+  double death_time(int world_rank) const noexcept {
+    return death_time_[static_cast<std::size_t>(world_rank)].load(
+        std::memory_order_acquire);
+  }
+  /// Publish one rank's progress (called from check_crash on its thread).
+  void note_progress(const RankContext& rc) noexcept;
+  /// The maximum progress clock published by any rank so far — the global
+  /// virtual-time frontier used for idle-crash polling and the watchdog.
+  double max_progress() const noexcept {
+    return max_progress_.load(std::memory_order_relaxed);
+  }
   /// Crash sweep: record the death and release every operation that would
   /// otherwise wait on the dead rank forever.
   void on_rank_crashed(const RankContext& rc, std::uint64_t calls);
@@ -205,6 +235,15 @@ class Runtime {
  private:
   void rank_main(int world_rank);
   static void* rank_thread_entry(void* arg);
+  void watchdog_loop();
+  void dump_progress_and_abort(const char* why);
+
+  /// Per-rank progress record, padded to its own cache line so the hot
+  /// check_crash store never false-shares with a neighbour rank.
+  struct alignas(64) RankProgress {
+    std::atomic<double> clock{0.0};
+    std::atomic<std::uint64_t> calls{0};
+  };
 
   RuntimeConfig cfg_;
   std::vector<ProgramSpec> programs_;
@@ -212,6 +251,7 @@ class Runtime {
   int world_size_ = 0;
   net::Machine machine_;
   ToolChain tools_;
+  std::unique_ptr<detail::PinTable> pins_;
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
   std::vector<double> final_clock_;
   std::shared_ptr<CommData> universe_data_;
@@ -224,8 +264,15 @@ class Runtime {
   net::FaultInjector injector_;
   std::unique_ptr<std::atomic<bool>[]> rank_dead_;
   std::unique_ptr<std::atomic<bool>[]> rank_done_;
+  std::unique_ptr<std::atomic<double>[]> death_time_;
   mutable std::mutex deaths_mu_;
   std::vector<RankDeath> deaths_;
+
+  // Progress publication (watchdog + idle-crash polling).
+  std::unique_ptr<RankProgress[]> progress_;
+  std::atomic<double> max_progress_{0.0};
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_stop_{false};
 };
 
 }  // namespace esp::mpi

@@ -28,6 +28,34 @@ int local_policy_target(MapPolicy policy, int slave_index, int n_slave,
 }
 }  // namespace
 
+int Map::failover_target(MapPolicy policy, std::uint64_t seed,
+                         int writer_universe_rank, int dead_universe_rank,
+                         const std::vector<int>& candidates) {
+  if (candidates.empty()) return -1;
+  const auto n = candidates.size();
+  std::size_t idx;
+  switch (policy) {
+    case MapPolicy::RoundRobin:
+    case MapPolicy::Fixed:
+      // Writers that shared the dead endpoint fan out over the survivors
+      // instead of stampeding onto one of them.
+      idx = static_cast<std::size_t>(writer_universe_rank) % n;
+      break;
+    default: {
+      // Random/User re-map: hashed like the pivot's Random policy so the
+      // choice is seed-stable and needs no pivot round-trip mid-failure.
+      const std::uint64_t h = esp::hash_combine(
+          esp::hash_combine(seed,
+                            mix64(static_cast<std::uint64_t>(
+                                writer_universe_rank + 1))),
+          mix64(static_cast<std::uint64_t>(dead_universe_rank + 1)));
+      idx = static_cast<std::size_t>(mix64(h) % n);
+      break;
+    }
+  }
+  return candidates[idx];
+}
+
 void Map::map_partitions(mpi::ProcEnv& env, int remote_partition_id,
                          MapPolicy policy, MapFn fn) {
   auto& rt = *env.runtime;

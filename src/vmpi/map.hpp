@@ -57,6 +57,20 @@ class Map {
   const std::vector<int>& peers() const noexcept { return peers_; }
   bool empty() const noexcept { return peers_.empty(); }
 
+  /// Failover hook: recompute one mapping entry after the death of
+  /// `dead_universe_rank`, choosing among `candidates` (the surviving
+  /// ranks of the dead peer's partition, ascending). A pure function of
+  /// its arguments — every writer that lost the same peer picks its
+  /// replacement without communication, and the same seed reproduces the
+  /// same re-routed topology. The policies mirror map_partitions():
+  /// RoundRobin/Fixed spread writers over survivors by writer rank;
+  /// Random/User hash (seed, writer, dead peer). Returns -1 when
+  /// `candidates` is empty (total partition loss).
+  static int failover_target(MapPolicy policy, std::uint64_t seed,
+                             int writer_universe_rank,
+                             int dead_universe_rank,
+                             const std::vector<int>& candidates);
+
  private:
   std::vector<int> peers_;
 };

@@ -1,9 +1,11 @@
 #include "vmpi/stream.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 
@@ -31,6 +33,10 @@ struct StreamObs {
   obs::Counter& seq_gaps = obs::counter("stream.seq_gap_blocks");
   obs::Counter& corrupted = obs::counter("stream.blocks_corrupted");
   obs::Counter& retried = obs::counter("stream.blocks_retried");
+  obs::Counter& failovers = obs::counter("stream.failovers");
+  obs::Counter& hb_missed = obs::counter("stream.heartbeats_missed");
+  obs::Counter& resent = obs::counter("stream.resent_blocks");
+  obs::Counter& failover_joins = obs::counter("stream.failover_joins");
   obs::Histogram& out_depth = obs::histogram("stream.out_queue_depth");
 };
 
@@ -39,6 +45,13 @@ StreamObs& sobs() {
   return o;
 }
 constexpr int kStreamCtlTag = 0x6f100000;
+/// Failover handshake tag. Deliberately *outside* the injected data-tag
+/// range: under the default StreamsOnly fault scope the handshake can
+/// never be dropped, so a failover either completes or the writer itself
+/// died — there is no half-joined state. (Under FaultScope::AllTraffic a
+/// dropped handshake would orphan the replayed blocks; the soak harness
+/// therefore only generates StreamsOnly plans.)
+constexpr int kStreamFailoverTag = 0x6f100001;
 constexpr int kStreamDataBase = net::kStreamDataTagBase;
 
 /// Handshake payload: the writer announces the data tag and geometry.
@@ -46,6 +59,18 @@ struct StreamCtl {
   int tag = 0;
   std::uint64_t block_size = 0;
   int n_async = 0;
+};
+
+/// Failover handshake: a writer whose reader died introduces itself to
+/// the replacement endpoint. `resume_seq` is the writer's next sequence
+/// number on the re-routed link; `replayed` the number of resend-window
+/// blocks about to follow (original sequence numbers baked into their
+/// frames, so the new link's seq-gap accounting charges exactly the
+/// unreplayable prefix to the loss ledger).
+struct FailoverCtl {
+  StreamCtl ctl;
+  std::uint64_t resume_seq = 0;
+  std::uint64_t replayed = 0;
 };
 
 /// On-wire block framing. The CRC covers everything after the crc field
@@ -137,6 +162,20 @@ void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
     out_.resize(static_cast<std::size_t>(cfg_.n_async));
     for (auto& b : out_) b.data = Buffer::make(cfg_.block_size + frame_bytes());
     out_seq_.assign(peers_.size(), 0);
+    // Failover engages only when this run can actually lose a reader:
+    // fault injection on, framing on (replay needs the real frames), and
+    // a crash scheduled for at least one endpoint. A chained failover
+    // stays covered — the endpoint only moves after its original peer
+    // (which had a scheduled crash) died.
+    if (cfg_.failover && framed_ && rt_->injector().enabled()) {
+      for (int peer : peers_) {
+        if (rt_->injector().has_crash(peer)) {
+          failover_armed_ = true;
+          break;
+        }
+      }
+    }
+    if (failover_armed_) resend_.resize(peers_.size());
     return;
   }
 
@@ -167,12 +206,31 @@ void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
     ip.slots.resize(static_cast<std::size_t>(cfg_.n_async));
     for (auto& s : ip.slots) {
       s.data = Buffer::make(cfg_.block_size + frame_bytes());
-      s.req = universe_.pirecv(s.data->data(),
-                               cfg_.block_size + frame_bytes(), peer, ip.tag);
+      s.req = universe_.pirecv(s.data, cfg_.block_size + frame_bytes(), peer,
+                               ip.tag);
     }
     in_peers_.push_back(std::move(ip));
   }
   if (in_peers_.empty()) throw std::invalid_argument("reader has no endpoint");
+  // A reader must hold the stream open past its own end-of-stream while a
+  // sibling of its partition can still die: writers re-route the dead
+  // sibling's endpoints here, and the adopted links arrive *after* this
+  // reader's original writers closed. Armed by the same predicate the
+  // writers use, so a fault-free run never enters the grace loop.
+  if (cfg_.failover && framed_ && rt_->injector().enabled()) {
+    const auto& mine = rt_->partition_of_world(env.universe_rank);
+    for (int r = mine.first_world_rank; r < mine.first_world_rank + mine.size;
+         ++r) {
+      if (r != env.universe_rank && rt_->injector().has_crash(r)) {
+        failover_possible_ = true;
+        break;
+      }
+    }
+    if (failover_possible_) {
+      for (int r = 0; r < rt_->world_size(); ++r)
+        if (!mine.contains_world(r)) grace_ranks_.push_back(r);
+    }
+  }
 }
 
 void Stream::open_peer(mpi::ProcEnv& env, int remote_universe_rank,
@@ -196,26 +254,26 @@ int Stream::next_target() {
 }
 
 int Stream::acquire_out_buf() {
-  // Prefer a free buffer; otherwise wait for the oldest in flight —
-  // this is the write-side backpressure ("non-blocking until all
-  // asynchronous buffers are full").
-  for (std::size_t i = 0; i < out_.size(); ++i) {
+  for (std::size_t i = 0; i < out_.size(); ++i)
     if (!out_[i].req) return static_cast<int>(i);
-    if (out_[i].req->is_done()) {
-      if (mpi::pwait(out_[i].req).error != 0) ++writes_failed_;
-      out_[i].req.reset();
-      return static_cast<int>(i);
-    }
-  }
+  // All buffers in flight: reclaim the oldest — strict FIFO, because
+  // matches on one link complete in post order, and because reclaiming
+  // whichever send happened to finish first in *real* time would feed
+  // thread-race noise into the writer's virtual clock. Backpressure is
+  // judged in virtual time too: the write stalled iff reclaiming the
+  // buffer advanced the clock, a pure function of the simulated schedule
+  // rather than of which thread got there first on the host.
   const std::size_t oldest = blocks_written_ % out_.size();
-  ++backpressure_waits_;
   const double t0 = mpi::Runtime::self().clock;
   if (mpi::pwait(out_[oldest].req).error != 0) ++writes_failed_;
   out_[oldest].req.reset();
-  if (obs::enabled()) {
-    sobs().backpressure.add(1);
-    obs::trace_span("stream", "stream.backpressure", t0,
-                    mpi::Runtime::self().clock);
+  if (mpi::Runtime::self().clock > t0) {
+    ++backpressure_waits_;
+    if (obs::enabled()) {
+      sobs().backpressure.add(1);
+      obs::trace_span("stream", "stream.backpressure", t0,
+                      mpi::Runtime::self().clock);
+    }
   }
   return static_cast<int>(oldest);
 }
@@ -235,10 +293,19 @@ int Stream::write_partial(const void* buf, std::uint64_t bytes) {
     throw std::invalid_argument("bad partial-block size");
   auto& rc = mpi::Runtime::self();
   const double t_begin = rc.clock;
-  const int slot = acquire_out_buf();
-  auto& ob = out_[static_cast<std::size_t>(slot)];
+  check_reader_leases();
   const std::size_t ti = static_cast<std::size_t>(next_target());
   const int peer = peers_[ti];
+  if (peer < 0) {
+    // Dead-end endpoint (its whole partition was wiped out): the block has
+    // nowhere to go. The sequence slot is still consumed so per-endpoint
+    // accounting stays linear.
+    ++out_seq_[ti];
+    ++writes_failed_;
+    return 1;
+  }
+  const int slot = acquire_out_buf();
+  auto& ob = out_[static_cast<std::size_t>(slot)];
   std::memcpy(ob.data->data() + frame_bytes(), buf, bytes);
   if (framed_) {
     BlockHeader h;
@@ -253,6 +320,14 @@ int Stream::write_partial(const void* buf, std::uint64_t bytes) {
       rt_->machine().local_copy(rt_->core_of(rc.world_rank), bytes, rc.clock);
   ob.req = universe_.pisend(ob.data->data(), bytes + frame_bytes(), peer,
                             data_tag_);
+  if (failover_armed_ && cfg_.resend_window > 0) {
+    // Keep a framed copy for replay after a failover; blocks evicted from
+    // the ring are unreplayable and will surface as seq-gap loss.
+    auto& ring = resend_[ti];
+    ring.push_back(Buffer::copy_of(ob.data->data(), bytes + frame_bytes()));
+    if (ring.size() > static_cast<std::size_t>(cfg_.resend_window))
+      ring.pop_front();
+  }
   ++blocks_written_;
   bytes_written_ += bytes;
   if (obs::enabled()) {
@@ -267,6 +342,148 @@ int Stream::write_partial(const void* buf, std::uint64_t bytes) {
                     "bytes");
   }
   return 1;
+}
+
+double Stream::peer_death_time(int peer) const {
+  // The fault plan's at_time schedule is a virtual-time oracle: the rank
+  // *will* be dead by then (the global progress frontier forces starved
+  // ranks over their deadline via poll_scheduled_crash), so declaring on
+  // it keeps the failover point a pure function of the writer's own
+  // deterministic clock. after_calls crashes have no such oracle; for
+  // them the recorded death time is used once the crash actually fired —
+  // near-deterministic, since the call count itself is program-ordered.
+  const auto& inj = rt_->injector();
+  double t = inj.crash_time(peer);
+  if (t == std::numeric_limits<double>::infinity() && rt_->rank_dead(peer))
+    t = rt_->death_time(peer);
+  return t;
+}
+
+void Stream::check_reader_leases() {
+  if (!failover_armed_) return;
+  auto& rc = mpi::Runtime::self();
+  for (std::size_t ti = 0; ti < peers_.size(); ++ti) {
+    const int peer = peers_[ti];
+    if (peer < 0) continue;
+    const double t_dead = peer_death_time(peer);
+    if (rc.clock >= t_dead + cfg_.hb_lease) fail_over_endpoint(ti, t_dead);
+  }
+}
+
+void Stream::fail_over_endpoint(std::size_t ti, double t_dead) {
+  auto& rc = mpi::Runtime::self();
+  const int dead = peers_[ti];
+  lease_dead_.push_back(dead);
+  // Every beacon the dead reader owed between its death and this
+  // declaration went unanswered; the count is derived rather than
+  // messaged (see StreamConfig) so it is exact and free.
+  const double silent = rc.clock - t_dead;
+  const std::uint64_t missed =
+      cfg_.hb_interval > 0.0
+          ? std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(silent / cfg_.hb_interval))
+          : 1;
+  heartbeats_missed_ += missed;
+  ++failovers_;
+  const double t0 = rc.clock;
+
+  // Survivors of the dead reader's partition, excluding ranks this writer
+  // already declared dead, ranks past their own lease, and current
+  // endpoints — sharing a target would collide two sequence spaces on a
+  // single (source, tag) link.
+  const auto& part = rt_->partition_of_world(dead);
+  std::vector<int> cands;
+  for (int r = part.first_world_rank; r < part.first_world_rank + part.size;
+       ++r) {
+    if (r == dead || r == rc.world_rank) continue;
+    if (std::find(lease_dead_.begin(), lease_dead_.end(), r) !=
+        lease_dead_.end())
+      continue;
+    if (std::find(peers_.begin(), peers_.end(), r) != peers_.end()) continue;
+    if (rc.clock >= peer_death_time(r) + cfg_.hb_lease) continue;
+    cands.push_back(r);
+  }
+  const int target = Map::failover_target(
+      cfg_.remap_policy, rt_->config().seed, rc.world_rank, dead, cands);
+  if (obs::enabled()) {
+    sobs().failovers.add(1);
+    sobs().hb_missed.add(missed);
+  }
+  if (target < 0) {
+    // Total partition loss: the endpoint becomes a dead end; further
+    // writes to it are counted failed.
+    peers_[ti] = -1;
+    return;
+  }
+  FailoverCtl fc;
+  fc.ctl = StreamCtl{data_tag_, cfg_.block_size, cfg_.n_async};
+  fc.resume_seq = out_seq_[ti];
+  fc.replayed = resend_[ti].size();
+  universe_.psend(&fc, sizeof fc, target, kStreamFailoverTag);
+  // Replay the unacknowledged tail. Original sequence numbers are baked
+  // into the frames, so the new link's gap accounting charges exactly the
+  // unreplayable prefix as lost — replayed blocks can never be counted
+  // lost, and (the dead reader's partial analysis dying with it) never
+  // analysed twice either.
+  for (const auto& blk : resend_[ti]) {
+    universe_.psend(blk->data(), blk->size(), target, data_tag_);
+    ++resent_blocks_;
+    if (obs::enabled()) sobs().resent.add(1);
+  }
+  peers_[ti] = target;
+  if (obs::enabled())
+    obs::trace_span("stream", "stream.failover", t0, rc.clock,
+                    static_cast<std::uint64_t>(resend_[ti].size()), "blocks");
+}
+
+void Stream::accept_failover_joins() {
+  auto& rc = mpi::Runtime::self();
+  std::uint64_t bytes = 0;
+  int src = -1;
+  int tag = -1;
+  while (rt_->mailbox(rc.world_rank)
+             .probe(universe_.context(), mpi::kAnySource, kStreamFailoverTag,
+                    &bytes, &src, &tag)) {
+    FailoverCtl fc;
+    if (universe_.precv(&fc, sizeof fc, src, kStreamFailoverTag).error != 0)
+      break;  // the adopting writer died mid-handshake
+    if (fc.ctl.block_size != cfg_.block_size)
+      throw std::runtime_error("failover writer disagrees on block size");
+    InPeer ip;
+    ip.universe_rank = src;
+    ip.tag = fc.ctl.tag;
+    ip.failover_join = true;
+    ip.replay_announced = fc.replayed;
+    // expected_seq stays 0: the gap up to the first replayed block charges
+    // every unreplayable pre-failover block to the loss ledger.
+    ip.slots.resize(static_cast<std::size_t>(fc.ctl.n_async));
+    for (auto& s : ip.slots) {
+      s.data = Buffer::make(cfg_.block_size + frame_bytes());
+      s.req = universe_.pirecv(s.data, cfg_.block_size + frame_bytes(), src,
+                               ip.tag);
+    }
+    ++failover_joins_;
+    if (obs::enabled()) {
+      sobs().failover_joins.add(1);
+      obs::trace_instant("stream", "stream.failover_join", rc.clock);
+    }
+    in_peers_.push_back(std::move(ip));
+  }
+}
+
+bool Stream::failover_grace_over() {
+  auto& rc = mpi::Runtime::self();
+  // A queued handshake means a join is imminent — never exit under it.
+  if (rt_->mailbox(rc.world_rank)
+          .probe(universe_.context(), mpi::kAnySource, kStreamFailoverTag,
+                 nullptr, nullptr, nullptr))
+    return false;
+  // Writers queue their handshake strictly before finishing, so once every
+  // rank outside this partition is finished (or dead) and the mailbox
+  // holds no handshake, no join can ever arrive again.
+  for (int r : grace_ranks_)
+    if (!rt_->rank_finished(r) && !rt_->rank_dead(r)) return false;
+  return true;
 }
 
 void Stream::mark_peer_dead(InPeer& ip) {
@@ -334,7 +551,7 @@ int Stream::try_read_block(void* buf) {
         std::memcpy(buf, slot.data->data(), st.bytes);
         rc.clock = rt_->machine().local_copy(rt_->core_of(rc.world_rank),
                                              st.bytes, rc.clock);
-        slot.req = universe_.pirecv(slot.data->data(), cfg_.block_size,
+        slot.req = universe_.pirecv(slot.data, cfg_.block_size,
                                     ip.universe_rank, ip.tag);
         ip.head = (ip.head + 1) % ip.slots.size();
         ++ip.blocks;
@@ -365,7 +582,7 @@ int Stream::try_read_block(void* buf) {
         }
         ++ip.retried;
         if (obs::enabled()) sobs().retried.add(1);
-        slot.req = universe_.pirecv(slot.data->data(),
+        slot.req = universe_.pirecv(slot.data,
                                     cfg_.block_size + frame_bytes(),
                                     ip.universe_rank, ip.tag);
         ip.head = (ip.head + 1) % ip.slots.size();
@@ -388,7 +605,7 @@ int Stream::try_read_block(void* buf) {
       rc.clock = rt_->machine().local_copy(rt_->core_of(rc.world_rank),
                                            h.payload, rc.clock);
       // Re-post the buffer immediately: a receive slot is always armed.
-      slot.req = universe_.pirecv(slot.data->data(),
+      slot.req = universe_.pirecv(slot.data,
                                   cfg_.block_size + frame_bytes(),
                                   ip.universe_rank, ip.tag);
       ip.head = (ip.head + 1) % ip.slots.size();
@@ -433,18 +650,42 @@ int Stream::read(void* buf, int nblocks, int flags) {
 int Stream::read_impl(void* buf, int nblocks, int flags) {
   auto* dst = static_cast<std::byte*>(buf);
   const auto poll = std::chrono::microseconds(cfg_.dead_poll_us);
+  auto& rc = mpi::Runtime::self();
   int got = 0;
   while (got < nblocks) {
+    // A scheduled crash for this reader must fire even when its own clock
+    // is starved: the global progress frontier stands in for the virtual
+    // time it would have observed. Polling on *every* iteration also
+    // guarantees a reader with a scheduled crash cannot exit the read
+    // loop alive once any peer's clock passed the deadline — which is
+    // what makes writer-side lease declaration sound.
+    rc.poll_scheduled_crash();
     const int r =
         try_read_block(dst + static_cast<std::size_t>(got) * cfg_.block_size);
     if (r == 1) {
       ++got;
       continue;
     }
-    if (r == 0) return got;  // all writers closed; 0 on first call
-    if (r == -3) return got > 0 ? got : kEpipe;
+    if (r == 0 || r == -3) {
+      if (got > 0) return got;  // terminal condition recurs on next call
+      if (failover_possible_) {
+        // Every original writer is done, but a sibling's death may still
+        // re-route endpoints here: hold the stream open until no join can
+        // ever arrive (grace), adopting handshakes as they land.
+        const std::size_t before = in_peers_.size();
+        accept_failover_joins();
+        if (in_peers_.size() != before) continue;  // adopted a link: rescan
+        if (!failover_grace_over()) {
+          if (flags & kNonblock) return kEagain;
+          std::this_thread::sleep_for(poll);
+          continue;
+        }
+      }
+      return r == 0 ? 0 : kEpipe;
+    }
     // Nothing ready.
     if (got > 0) return got;
+    if (failover_possible_) accept_failover_joins();
     if (flags & kNonblock) {
       // A spinning non-blocking reader must still notice dead writers,
       // or the kEagain loop never terminates.
@@ -507,6 +748,10 @@ void Stream::close() {
   if (!open_ || closed_) return;
   closed_ = true;
   if (writer_) {
+    // A reader may have died since the last write; re-route its endpoint
+    // *before* end-of-stream so the EOS (and the replayed tail) reach the
+    // survivor instead of vanishing into a dead mailbox.
+    check_reader_leases();
     for (auto& ob : out_) {
       if (!ob.req) continue;
       if (mpi::pwait(ob.req).error != 0) ++writes_failed_;
@@ -516,6 +761,7 @@ void Stream::close() {
       // Header-only end-of-stream per endpoint; seq carries the final
       // per-link block count so trailing drops are still accounted.
       for (std::size_t i = 0; i < peers_.size(); ++i) {
+        if (peers_[i] < 0) continue;  // dead end: nobody left to notify
         BlockHeader h;
         h.magic = kBlockMagic;
         h.seq = out_seq_[i];
@@ -547,6 +793,10 @@ StreamStats Stream::stats() const {
   s.eagain_returns = eagain_returns_;
   s.backpressure_waits = backpressure_waits_;
   s.writes_failed = writes_failed_;
+  s.failovers = failovers_;
+  s.heartbeats_missed = heartbeats_missed_;
+  s.resent_blocks = resent_blocks_;
+  s.failover_joins = failover_joins_;
   for (const auto& ip : in_peers_) {
     s.blocks_lost += ip.lost;
     s.blocks_corrupted += ip.corrupted;
@@ -569,6 +819,8 @@ std::vector<StreamPeerStats> Stream::peer_stats() const {
     ps.blocks_retried = ip.retried;
     ps.closed = ip.closed;
     ps.dead = ip.dead;
+    ps.failover_join = ip.failover_join;
+    ps.blocks_replayed = ip.replay_announced;
     out.push_back(ps);
   }
   return out;

@@ -37,6 +37,7 @@
 /// own transport.
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -73,6 +74,28 @@ struct StreamConfig {
   /// Virtual seconds charged to the reader's clock when it gives up on a
   /// silently-dead writer (the simulated detection timeout).
   double read_deadline = 1e-3;
+
+  // ---- reader-liveness lease + failover (see "Failure model v2") ------
+  /// Writers watch their *readers*: every delivered block doubles as a
+  /// heartbeat and an idle reader owes a beacon each `hb_interval`. The
+  /// simulation models the beacon stream rather than materializing the
+  /// messages (which would perturb clocks and call counts): a reader dead
+  /// since virtual time T has, by definition, missed every beacon after
+  /// T, so the writer declares it dead at its first write/close once its
+  /// own clock passes T + hb_lease, re-routes the endpoint to a surviving
+  /// rank of the same partition (Map::failover_target) and replays the
+  /// unacknowledged tail from the resend window. Armed only when the run
+  /// has a fault plan, framing is on, and an endpoint's partition has a
+  /// scheduled crash — a fault-free run pays nothing.
+  bool failover = true;
+  double hb_lease = 2e-3;    ///< Virtual seconds of silence before declaring death.
+  double hb_interval = 5e-4; ///< Modeled beacon period (heartbeats_missed unit).
+  /// Framed copies of the most recent blocks kept per endpoint for replay
+  /// after failover; older blocks are unreplayable and become seq-gap
+  /// loss on the new link. 0 disables replay entirely.
+  int resend_window = 4;
+  /// Policy for choosing the surviving replacement endpoint.
+  MapPolicy remap_policy = MapPolicy::RoundRobin;
 };
 
 /// Per-incoming-link health, for the data-loss ledger.
@@ -85,6 +108,9 @@ struct StreamPeerStats {
   std::uint64_t blocks_retried = 0;    ///< Corrupt blocks skipped-and-continued.
   bool closed = false;                 ///< Clean end-of-stream received.
   bool dead = false;                   ///< Writer died / link quarantined.
+  bool failover_join = false;          ///< Link adopted from a dead reader.
+  /// Blocks the writer announced it would replay on this adopted link.
+  std::uint64_t blocks_replayed = 0;
 };
 
 /// Whole-stream aggregate of StreamPeerStats plus write-side counters.
@@ -99,6 +125,10 @@ struct StreamStats {
   std::uint64_t writes_failed = 0;  ///< Sends completed with a dead peer.
   std::uint64_t eagain_returns = 0;      ///< Non-blocking reads that found nothing.
   std::uint64_t backpressure_waits = 0;  ///< Writes that waited for an out buffer.
+  std::uint64_t failovers = 0;          ///< Endpoints re-routed after reader death.
+  std::uint64_t heartbeats_missed = 0;  ///< Modeled beacons missed before declaring.
+  std::uint64_t resent_blocks = 0;      ///< Blocks replayed onto new endpoints.
+  std::uint64_t failover_joins = 0;     ///< Links adopted from dead readers (read side).
   int peers_dead = 0;
 };
 
@@ -188,11 +218,29 @@ class Stream {
     std::uint64_t corrupted = 0;
     std::uint64_t retried = 0;
     int consecutive_corrupt = 0;
+    bool failover_join = false;          ///< Adopted from a dead reader.
+    std::uint64_t replay_announced = 0;  ///< Writer's announced replay count.
   };
 
   int next_target();
   int acquire_out_buf();
   int read_impl(void* buf, int nblocks, int flags);
+  /// Writer: declare readers whose lease expired dead and re-route their
+  /// endpoints. Called on entry to write_partial() and close().
+  void check_reader_leases();
+  /// Writer: earliest virtual time at which `peer` dies, from the fault
+  /// plan's oracle (at_time crashes) or the recorded death (after_calls
+  /// crashes); +inf for a healthy rank.
+  double peer_death_time(int peer) const;
+  /// Writer: re-route endpoint `ti` (whose reader died at `t_dead`) to a
+  /// surviving rank of the same partition and replay the resend window.
+  /// Returns false when no survivor exists (endpoint becomes a dead end).
+  void fail_over_endpoint(std::size_t ti, double t_dead);
+  /// Reader: adopt any pending failover handshakes into in_peers_.
+  void accept_failover_joins();
+  /// Reader: true once no failover join can ever arrive again (every
+  /// potential writer rank finished and no handshake is queued).
+  bool failover_grace_over();
   /// Try to consume one completed block; -2 when nothing ready, 0 when
   /// every peer closed cleanly, -3 when done with >= 1 dead peer.
   int try_read_block(void* buf);
@@ -214,17 +262,32 @@ class Stream {
   mpi::Runtime* rt_ = nullptr;
 
   // Writer side.
-  std::vector<int> peers_;  ///< Reader universe ranks.
+  std::vector<int> peers_;  ///< Reader universe ranks (-1: dead end).
   int data_tag_ = 0;
   std::vector<OutBuf> out_;
   std::vector<std::uint64_t> out_seq_;  ///< Per-endpoint block sequence.
   std::size_t rr_next_ = 0;
   std::uint64_t writes_failed_ = 0;
+  /// Failover machinery engages only when the run can actually lose a
+  /// reader: fault injection on, framing on, and a scheduled crash for at
+  /// least one endpoint (writer) / partition sibling (reader).
+  bool failover_armed_ = false;
+  /// Per-endpoint ring of framed block copies available for replay.
+  std::vector<std::deque<BufferRef>> resend_;
+  std::vector<int> lease_dead_;  ///< Readers this writer declared dead.
+  std::uint64_t failovers_ = 0;
+  std::uint64_t heartbeats_missed_ = 0;
+  std::uint64_t resent_blocks_ = 0;
 
   // Reader side.
   std::vector<InPeer> in_peers_;
   std::size_t rr_peer_ = 0;
   mpi::WaitSet waitset_;  ///< Wait-any target for blocking reads.
+  bool failover_possible_ = false;
+  /// Ranks whose termination ends the failover grace period (everything
+  /// outside this reader's partition).
+  std::vector<int> grace_ranks_;
+  std::uint64_t failover_joins_ = 0;
 
   std::uint64_t blocks_written_ = 0;
   std::uint64_t blocks_read_ = 0;

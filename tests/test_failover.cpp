@@ -1,0 +1,266 @@
+/// \file test_failover.cpp
+/// \brief Analyzer failover end to end: the death of an analysis-engine
+/// rank mid-run must not cost the session its report. Writers detect the
+/// dead reader within the virtual lease, re-route their open streams to a
+/// surviving analyzer rank (replaying the resend window), the reduction
+/// re-roots onto a survivor, and every unreplayable block lands in the
+/// data-loss ledger — never analysed twice. The overload-degradation
+/// ladder is exercised both pinned (deterministic weighting bounds) and
+/// adaptive (steps down under backpressure).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "net/fault.hpp"
+
+namespace esp {
+namespace {
+
+/// Ring exchange resilient to dead neighbours (completions carry errors
+/// instead of blocking forever) — the same workload test_faults.cpp uses.
+mpi::ProgramMain ring(int iters) {
+  return [iters](mpi::ProcEnv& env) {
+    std::vector<std::byte> rbuf(1024), sbuf(1024);
+    const int n = env.world.size();
+    for (int i = 0; i < iters; ++i) {
+      mpi::compute(5e-5);
+      mpi::Request r = env.world.irecv(rbuf.data(), rbuf.size(),
+                                       (env.world_rank + n - 1) % n, 0);
+      env.world.send(sbuf.data(), sbuf.size(), (env.world_rank + 1) % n, 0);
+      mpi::wait(r);
+    }
+  };
+}
+
+/// Small stream blocks (several per rank) and a tight lease so reader
+/// death is detected well inside the run.
+SessionConfig failover_config() {
+  SessionConfig cfg;
+  cfg.instrument.block_size = 4096;
+  cfg.instrument.hb_lease = 5e-4;
+  cfg.instrument.hb_interval = 1e-4;
+  return cfg;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Fingerprint of one analyzer-crash run: the loss ledger, the failover
+/// telemetry, and the literal report bytes.
+struct RunSnapshot {
+  std::vector<int> dead_world;
+  std::vector<int> dead_analyzer;
+  std::uint64_t lost = 0, corrupted = 0, dropped_estimate = 0;
+  std::uint64_t analysed_events = 0;
+  std::uint64_t failover_joins = 0, blocks_replayed = 0;
+  std::string report;
+};
+
+RunSnapshot run_analyzer_crash_session(std::uint64_t seed,
+                                       const std::string& out_dir) {
+  SessionConfig cfg = failover_config();
+  cfg.runtime.seed = seed;
+  cfg.analyzer_ratio = 4;  // 8 app procs -> 2 analyzer ranks
+  cfg.output_dir = out_dir;
+  // Kill analyzer rank 0 (named partition-relative: the session resolves
+  // it to a world rank) early enough that streams are still open.
+  cfg.faults.crashes.push_back({.at_time = 1e-3, .analyzer_rank = true});
+  cfg.faults.crashes.back().world_rank = 0;
+  Session session(cfg);
+  const int app = session.add_application("ring", 8, ring(600));
+  auto results = session.run();  // must complete; ctest timeout guards hangs
+
+  RunSnapshot s;
+  s.dead_world = results->health.dead_world_ranks;
+  s.dead_analyzer = results->health.dead_analyzer_ranks;
+  std::sort(s.dead_analyzer.begin(), s.dead_analyzer.end());
+  if (const an::AppResults* r = results->find(app)) {
+    s.lost = r->loss.blocks_lost;
+    s.corrupted = r->loss.blocks_corrupted;
+    s.dropped_estimate = r->loss.events_dropped_estimate;
+    s.analysed_events = r->total_events;
+    s.failover_joins = r->telemetry.failover_joins;
+    s.blocks_replayed = r->telemetry.blocks_replayed;
+  }
+  s.report = slurp(out_dir + "/report.md");
+  return s;
+}
+
+TEST(Failover, AnalyzerRankDeathStillProducesReport) {
+  const std::string dir = testing::TempDir() + "esp_failover_report";
+  const RunSnapshot s = run_analyzer_crash_session(11, dir);
+
+  // The analyzer rank actually died (world rank 8 = first analyzer rank).
+  ASSERT_EQ(s.dead_world, (std::vector<int>{8}));
+  EXPECT_EQ(s.dead_analyzer, (std::vector<int>{0}));
+  // The surviving rank re-rooted the reduction and wrote the report.
+  ASSERT_FALSE(s.report.empty()) << "report.md must exist despite the crash";
+  EXPECT_NE(s.report.find("Session health"), std::string::npos);
+  // Streams re-routed: the survivor adopted orphaned links and replayed
+  // their resend windows.
+  EXPECT_GT(s.failover_joins, 0u) << "writers must fail over to a survivor";
+  EXPECT_GT(s.analysed_events, 0u);
+  // Unreplayable prefixes are accounted, not silently absorbed.
+  EXPECT_GT(s.lost, 0u) << "blocks beyond the resend window must be ledgered";
+  EXPECT_GT(s.dropped_estimate, 0u);
+}
+
+TEST(Failover, SameSeedReproducesIdenticalLedgerAndReport) {
+  const std::string da = testing::TempDir() + "esp_failover_a";
+  const std::string db = testing::TempDir() + "esp_failover_b";
+  const RunSnapshot a = run_analyzer_crash_session(7, da);
+  const RunSnapshot b = run_analyzer_crash_session(7, db);
+  EXPECT_EQ(a.dead_world, b.dead_world);
+  EXPECT_EQ(a.dead_analyzer, b.dead_analyzer);
+  EXPECT_EQ(a.lost, b.lost);
+  EXPECT_EQ(a.corrupted, b.corrupted);
+  EXPECT_EQ(a.dropped_estimate, b.dropped_estimate);
+  EXPECT_EQ(a.analysed_events, b.analysed_events);
+  EXPECT_EQ(a.failover_joins, b.failover_joins);
+  EXPECT_EQ(a.blocks_replayed, b.blocks_replayed);
+  ASSERT_FALSE(a.report.empty());
+  EXPECT_EQ(a.report, b.report)
+      << "same seed must emit bit-identical report bytes";
+  // The comparison is not vacuous: failover really happened.
+  EXPECT_GT(a.failover_joins, 0u);
+}
+
+TEST(Failover, ReaderDeathDuringCloseCompletes) {
+  SessionConfig cfg = failover_config();
+  cfg.analyzer_ratio = 4;
+  // The apps finish their loops around ~3 ms of virtual time; the crash
+  // lands while writers are closing/EOS-ing their streams.
+  cfg.faults.crashes.push_back({.at_time = 2.5e-3, .analyzer_rank = true});
+  cfg.faults.crashes.back().world_rank = 0;
+  Session session(cfg);
+  const int app = session.add_application("ring", 8, ring(60));
+  auto results = session.run();  // completion is the core assertion
+
+  EXPECT_TRUE(results->health.degraded());
+  EXPECT_EQ(results->health.dead_analyzer_ranks, (std::vector<int>{0}));
+  const an::AppResults* r = results->find(app);
+  ASSERT_NE(r, nullptr);
+  EXPECT_GT(r->total_events, 0u);
+  // Nothing is ever analysed twice, whatever phase the death hit.
+  Session* s = &session;
+  EXPECT_LE(r->total_events, s->instrument_totals().events);
+}
+
+TEST(Failover, ResendWindowOverflowIsLossNeverDuplication) {
+  const std::string dir = testing::TempDir() + "esp_failover_w1";
+  SessionConfig cfg = failover_config();
+  cfg.analyzer_ratio = 4;
+  cfg.instrument.resend_window = 1;  // almost nothing is replayable
+  cfg.output_dir = dir;
+  cfg.faults.crashes.push_back({.at_time = 1e-3, .analyzer_rank = true});
+  cfg.faults.crashes.back().world_rank = 0;
+  Session session(cfg);
+  const int app = session.add_application("ring", 8, ring(600));
+  auto results = session.run();
+
+  const an::AppResults* r = results->find(app);
+  ASSERT_NE(r, nullptr);
+  EXPECT_GT(r->telemetry.failover_joins, 0u);
+  // A 1-block window replays at most one block per adopted link.
+  EXPECT_LE(r->telemetry.blocks_replayed, r->telemetry.failover_joins);
+  // Everything before the window is counted lost...
+  EXPECT_GT(r->loss.blocks_lost, 0u);
+  // ...and replay never double-counts: the analysed (weighted) total can
+  // not exceed what instrumentation actually emitted.
+  EXPECT_LE(r->total_events, session.instrument_totals().events);
+}
+
+TEST(Failover, NoCrashMeansNoFailover) {
+  SessionConfig cfg = failover_config();
+  Session session(cfg);
+  const int app = session.add_application("ring", 4, ring(200));
+  auto results = session.run();
+
+  EXPECT_FALSE(results->health.degraded());
+  const an::AppResults* r = results->find(app);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->telemetry.failover_joins, 0u);
+  EXPECT_EQ(r->telemetry.blocks_replayed, 0u);
+  EXPECT_EQ(r->loss.blocks_lost, 0u);
+  EXPECT_EQ(r->total_events, session.instrument_totals().events);
+}
+
+TEST(Degrade, ForcedSamplingWeightsWithinStrideError) {
+  SessionConfig cfg;
+  cfg.instrument.block_size = 4096;
+  cfg.instrument.degrade = true;
+  cfg.instrument.degrade_force_mode = 1;  // pin the Sampled rung
+  cfg.instrument.degrade_stride = 4;
+  Session session(cfg);
+  const int nranks = 4;
+  const int app = session.add_application("ring", nranks, ring(300));
+  auto results = session.run();
+
+  const an::AppResults* r = results->find(app);
+  ASSERT_NE(r, nullptr);
+  const auto totals = session.instrument_totals();
+  EXPECT_GT(totals.calls_sampled_out, 0u);
+  const std::uint64_t actual_calls = totals.events + totals.calls_sampled_out;
+  // Every kept event stands for `stride` calls: the weighted total brackets
+  // the true call count within one stride per rank.
+  EXPECT_GE(r->total_events, actual_calls);
+  EXPECT_LT(r->total_events,
+            actual_calls + cfg.instrument.degrade_stride * nranks);
+  // The report-side accounting flags the degraded fidelity.
+  EXPECT_TRUE(r->degrade.degraded());
+  EXPECT_GT(r->degrade.packs_sampled, 0u);
+  EXPECT_EQ(r->degrade.packs_full, 0u);
+}
+
+TEST(Degrade, LadderStepsDownUnderOverload) {
+  SessionConfig cfg;
+  // Rendezvous-sized blocks: eager sends complete locally and can never
+  // backpressure, so the ladder needs blocks above the eager threshold.
+  cfg.instrument.block_size = 32768;
+  cfg.instrument.n_async = 1;
+  cfg.instrument.degrade = true;  // adaptive ladder armed
+  // Starve the analyzer: a high per-event analysis cost makes producers
+  // outrun it, so the streams back-pressure and the ladder must react.
+  cfg.analyzer.per_event_cost = 2e-4;
+  cfg.analyzer.n_async = 1;
+  Session session(cfg);
+  const int app = session.add_application("ring", 8, ring(400));
+  auto results = session.run();
+
+  const auto totals = session.instrument_totals();
+  EXPECT_GT(totals.windows_sampled + totals.windows_aggregated, 0u)
+      << "sustained backpressure must step the ladder down";
+  const an::AppResults* r = results->find(app);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->degrade.degraded());
+  // Degraded windows keep total accounting coherent: weighted analysis
+  // totals cover at least the events that were actually shipped.
+  EXPECT_GE(r->total_events + r->loss.events_dropped_estimate,
+            totals.events);
+}
+
+TEST(Session, WatchdogDeadlineKnobIsPlumbedFromEnvironment) {
+  ::setenv("ESP_SESSION_DEADLINE", "123.5", 1);
+  SessionConfig cfg;
+  Session session(cfg);
+  session.add_application("ring", 2, ring(5));
+  session.run();
+  ::unsetenv("ESP_SESSION_DEADLINE");
+  EXPECT_DOUBLE_EQ(session.runtime().config().watchdog_virtual_deadline,
+                   123.5)
+      << "ESP_SESSION_DEADLINE must reach the runtime watchdog";
+}
+
+}  // namespace
+}  // namespace esp

@@ -62,4 +62,22 @@ ESP_BB_BENCH_JSON="${ESP_BB_BENCH_JSON:-$repo/BENCH_blackboard.json}" \
 ESP_BB_BASELINE="${ESP_BB_BASELINE:-$repo/bench/BENCH_blackboard.baseline.json}" \
   "$repo/build/bench/ablation_blackboard"
 
+echo "=== degradation-ladder sweep + regression gate ==="
+# All virtual metrics: deterministic, so the gate compares the committed
+# baseline exactly (ESP_DEGRADE_GATE=warn softens; ESP_DEGRADE_TOL /
+# ESP_DEGRADE_TIME_TOL widen). Regenerate bench/BENCH_degrade.baseline.json
+# in the same commit whenever the measurement model intentionally changes.
+ESP_DEGRADE_BENCH_JSON="${ESP_DEGRADE_BENCH_JSON:-$repo/BENCH_degrade.json}" \
+ESP_DEGRADE_BASELINE="${ESP_DEGRADE_BASELINE:-$repo/bench/BENCH_degrade.baseline.json}" \
+  "$repo/build/bench/ablation_degrade"
+
+echo "=== chaos soak (ASan) ==="
+# Randomized seeded fault campaigns against full sessions, each seed run
+# twice and required to reproduce bit-identical reports; the sanitizer
+# build also catches crash-unwind memory errors. ESP_SOAK_SEED rotates
+# the campaign (defaults to the fixed seed baked into the harness);
+# ESP_SOAK_RUNS sizes it.
+ESP_SOAK_SEED="${ESP_SOAK_SEED:-}" \
+  "$repo/build-sanitize/tools/soak" --runs "${ESP_SOAK_RUNS:-25}" --seed-from-env
+
 echo "=== all checks passed ==="
