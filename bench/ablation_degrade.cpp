@@ -20,7 +20,9 @@
 ///       run the rung sweep, write one JSON record per rung, gate, exit;
 ///   ESP_DEGRADE_BASELINE=baseline.json  compare against the checked-in
 ///       numbers; counter deviation > ESP_DEGRADE_TOL (default 0: exact)
-///       or walltime deviation > ESP_DEGRADE_TIME_TOL (default 0.05)
+///       or walltime deviation > ESP_DEGRADE_TIME_TOL (default 0.15,
+///       sized for the saturated adaptive rung, whose arrival-order
+///       serialization makes its walltime host-load sensitive)
 ///       fails, unless ESP_DEGRADE_GATE=warn;
 ///   ESP_DEGRADE_MIN_SAMPLED_X (default 2.0) / ESP_DEGRADE_MIN_AGG_X
 ///       (default 4.0)  hardware-neutral floors on the bytes-on-the-wire
@@ -244,7 +246,7 @@ int run_sweep(const std::string& json_path) {
     const char* gate = std::getenv("ESP_DEGRADE_GATE");
     const bool hard = gate == nullptr || std::strcmp(gate, "warn") != 0;
     const double tol = env_double("ESP_DEGRADE_TOL", 0.0);
-    const double time_tol = env_double("ESP_DEGRADE_TIME_TOL", 0.05);
+    const double time_tol = env_double("ESP_DEGRADE_TIME_TOL", 0.15);
     std::vector<BaselineRow> baseline;
     if (!load_baseline(baseline_path, baseline)) {
       std::fprintf(stderr, "cannot read baseline %s\n", baseline_path);

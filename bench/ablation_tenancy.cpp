@@ -1,0 +1,344 @@
+/// \file ablation_tenancy.cpp
+/// \brief Noisy-neighbour ablation of the tenant fabric: what per-tenant
+/// quotas buy a well-behaved tenant when a neighbour floods the shared
+/// analyzer. Three scenarios over one fixed four-tenant shape — no noise,
+/// an unquota'd flooder, and the same flooder under a strict quota — and
+/// the victim's event-to-flush latency distribution (p50/p99, virtual
+/// time) plus its virtual walltime as the isolation metrics.
+///
+/// All metrics are virtual (simulated seconds), but every scenario here
+/// deliberately runs the shared reader at or past saturation — that is
+/// the disease under test — and under saturation the fluid resource
+/// model serializes contending requests in host arrival order (the same
+/// caveat the degrade ablation documents for its overload rung). Time
+/// metrics therefore jitter a few percent run to run and gate with a
+/// loose tolerance; event and shed counts are driven by producer-side
+/// history only and stay (near-)exact.
+///
+///   ESP_TENANCY_BENCH_JSON=out.json ./ablation_tenancy
+///       run the scenario sweep, write one JSON record per scenario,
+///       gate, exit;
+///   ESP_TENANCY_MAX_P99X (default 1.05)  hard ceiling on the quota'd-
+///       flooder victim p99 relative to the no-noise victim p99: the
+///       fabric's isolation promise (a contained flood moves a
+///       well-behaved neighbour's tail by at most 5%);
+///   ESP_TENANCY_MIN_HARMX (default 1.05)  floor on the unquota'd-
+///       flooder victim walltime relative to no-noise: the flood must
+///       demonstrably hurt, or the isolation gate compares two quiet
+///       runs and passes vacuously;
+///   ESP_TENANCY_BASELINE=baseline.json  compare against the checked-in
+///       numbers; count deviation > ESP_TENANCY_TOL (default 0.005)
+///       or walltime/latency deviation > ESP_TENANCY_TIME_TOL (default
+///       0.25, sized for saturation jitter) fails, unless
+///       ESP_TENANCY_GATE=warn.
+///
+/// Without ESP_TENANCY_BENCH_JSON, a standard google-benchmark wrapper
+/// over the same sessions (wall-clock, for profiling only).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace {
+
+using namespace esp;
+
+/// Dead-neighbour-tolerant ring exchange; `gap` scales the compute phase
+/// between calls, so a small gap means a high event rate (the flood).
+mpi::ProgramMain ring(int iters, double gap) {
+  return [iters, gap](mpi::ProcEnv& env) {
+    std::vector<std::byte> rbuf(1024), sbuf(1024);
+    const int n = env.world.size();
+    for (int i = 0; i < iters; ++i) {
+      mpi::compute(gap);
+      mpi::Request r = env.world.irecv(rbuf.data(), rbuf.size(),
+                                       (env.world_rank + n - 1) % n, 0);
+      env.world.send(sbuf.data(), sbuf.size(), (env.world_rank + 1) % n, 0);
+      mpi::wait(r);
+    }
+  };
+}
+
+struct ScenarioResult {
+  std::string name;
+  double victim_p50 = 0.0;        ///< Victim event-to-flush p50 (virtual s).
+  double victim_p99 = 0.0;        ///< Victim event-to-flush p99 (virtual s).
+  std::uint64_t victim_events = 0;
+  double victim_walltime = 0.0;   ///< Victim virtual walltime.
+  std::uint64_t flooder_shed = 0; ///< Packs shed off the flooder's quota.
+};
+
+/// One fixed four-tenant shape: the victim, two quiet background tenants,
+/// and a fourth slot that is quiet, flooding unquota'd, or flooding under
+/// a strict per-tenant budget — the only thing that varies per scenario.
+ScenarioResult run_scenario(const std::string& name, bool flood,
+                            bool quota) {
+  SessionConfig cfg;
+  cfg.analyzer_ratio = 4;
+  // Rendezvous-sized blocks and single async slots: the shape where a
+  // flooder can genuinely backpressure the shared reader (eager-sized
+  // blocks complete locally and cannot). The per-event cost is sized so
+  // the reader runs hot even on well-behaved traffic and the unquota'd
+  // flood pushes it well past saturation; the strict quota sheds the
+  // flood at the reader, which is what pulls the victim back to (below,
+  // even) the no-noise trajectory — shed flood analyzes fewer events
+  // than a quiet fourth tenant would.
+  cfg.instrument.block_size = 32768;
+  cfg.instrument.n_async = 1;
+  cfg.analyzer.n_async = 1;
+  cfg.analyzer.per_event_cost = 4e-4;
+  cfg.tenants.enabled = true;
+  for (int t = 0; t < 4; ++t) cfg.tenants.arrival[t] = 0.0;
+  if (flood && quota) {
+    an::TenantQuota strict;
+    strict.entry_rate = 50.0;  // below the ladder floor: shedding engages
+    strict.burst_events = 32.0;
+    cfg.tenants.quota[3] = strict;
+  }
+  Session session(cfg);
+  // The victim's long virtual span keeps the quiet rows far from reader
+  // saturation; the flooder's eight ranks are what let the flood outpace
+  // the reader *during* the victim's lifetime.
+  const int victim = session.add_application("victim", 2, ring(2000, 2e-4));
+  session.add_application("bg0", 2, ring(400, 5e-5));
+  session.add_application("bg1", 2, ring(400, 5e-5));
+  const int fl = session.add_application(
+      "fourth", 8, flood ? ring(10000, 2e-6) : ring(400, 5e-5));
+  auto results = session.run();
+
+  ScenarioResult r;
+  r.name = name;
+  if (const an::AppResults* v = results->find(victim)) {
+    r.victim_p50 = v->tenant.latency.quantile(0.50);
+    r.victim_p99 = v->tenant.latency.quantile(0.99);
+    r.victim_events = v->total_events;
+  }
+  if (const an::AppResults* f = results->find(fl))
+    r.flooder_shed = f->tenant.packs_shed;
+  r.victim_walltime = session.application_walltime(victim);
+  return r;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
+}
+
+struct BaselineRow {
+  std::string name;
+  double victim_p50 = 0, victim_p99 = 0, victim_events = 0;
+  double victim_walltime = 0, flooder_shed = 0;
+};
+
+bool load_baseline(const std::string& path, std::vector<BaselineRow>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    BaselineRow row;
+    char name[32] = {0};
+    if (std::sscanf(line.c_str(),
+                    " {\"scenario\":\"%31[^\"]\",\"victim_p50\":%lf,"
+                    "\"victim_p99\":%lf,\"victim_events\":%lf,"
+                    "\"victim_walltime\":%lf,\"flooder_shed\":%lf",
+                    name, &row.victim_p50, &row.victim_p99,
+                    &row.victim_events, &row.victim_walltime,
+                    &row.flooder_shed) == 6) {
+      row.name = name;
+      out.push_back(row);
+    }
+  }
+  return true;
+}
+
+int run_sweep(const std::string& json_path) {
+  std::vector<ScenarioResult> results;
+  results.push_back(run_scenario("no_noise", false, false));
+  results.push_back(run_scenario("noise_unlimited", true, false));
+  results.push_back(run_scenario("noise_quota", true, true));
+  for (const auto& r : results)
+    std::printf("%-16s victim_p50=%.6gs p99=%.6gs events=%-6llu "
+                "walltime=%.6fs flooder_shed=%llu\n",
+                r.name.c_str(), r.victim_p50, r.victim_p99,
+                static_cast<unsigned long long>(r.victim_events),
+                r.victim_walltime,
+                static_cast<unsigned long long>(r.flooder_shed));
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  out << "{\n  \"schema\": 1,\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"scenario\":\"%s\",\"victim_p50\":%.9g,"
+                  "\"victim_p99\":%.9g,\"victim_events\":%llu,"
+                  "\"victim_walltime\":%.9f,\"flooder_shed\":%llu}%s\n",
+                  r.name.c_str(), r.victim_p50, r.victim_p99,
+                  static_cast<unsigned long long>(r.victim_events),
+                  r.victim_walltime,
+                  static_cast<unsigned long long>(r.flooder_shed),
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::printf("-> %s\n", json_path.c_str());
+
+  int rc = 0;
+  auto find = [&](const char* name) -> const ScenarioResult* {
+    for (const auto& r : results)
+      if (r.name == name) return &r;
+    return nullptr;
+  };
+  const ScenarioResult* quiet = find("no_noise");
+  const ScenarioResult* noisy = find("noise_unlimited");
+  const ScenarioResult* contained = find("noise_quota");
+
+  // Gate 1 (hardware-neutral, the isolation promise): under the quota the
+  // victim's tail latency stays within ESP_TENANCY_MAX_P99X of the
+  // no-noise baseline. The unquota'd flooder is printed for contrast but
+  // not gated — it is the disease, not the cure.
+  const double max_x = env_double("ESP_TENANCY_MAX_P99X", 1.05);
+  if (quiet != nullptr && contained != nullptr && quiet->victim_p99 > 0) {
+    const double x = contained->victim_p99 / quiet->victim_p99;
+    std::printf("victim p99: no_noise=%.6gs noise_quota=%.6gs (%.3fx)"
+                "%s noise_unlimited=%.6gs (%.3fx)\n",
+                quiet->victim_p99, contained->victim_p99, x,
+                noisy != nullptr ? ";" : "",
+                noisy != nullptr ? noisy->victim_p99 : 0.0,
+                noisy != nullptr && quiet->victim_p99 > 0
+                    ? noisy->victim_p99 / quiet->victim_p99
+                    : 0.0);
+    if (x > max_x) {
+      std::fprintf(stderr,
+                   "FAIL: quota'd flood moves victim p99 %.3fx (> %.3fx): "
+                   "tenant isolation regressed\n",
+                   x, max_x);
+      rc = 1;
+    }
+  }
+  // The quota must actually have engaged, or the isolation gate above is
+  // vacuously comparing two quiet runs.
+  if (contained != nullptr && contained->flooder_shed == 0) {
+    std::fprintf(stderr,
+                 "FAIL: strict quota shed nothing off the flooder "
+                 "(scenario no longer floods?)\n");
+    rc = 1;
+  }
+  // And the unquota'd flood must demonstrably hurt — victim walltime is
+  // the robust harm signal (the three scenarios' walltime bands do not
+  // overlap run to run, unlike the saturated tail quantiles).
+  const double min_harm = env_double("ESP_TENANCY_MIN_HARMX", 1.05);
+  if (quiet != nullptr && noisy != nullptr && quiet->victim_walltime > 0) {
+    const double h = noisy->victim_walltime / quiet->victim_walltime;
+    std::printf("victim walltime: no_noise=%.6fs noise_unlimited=%.6fs "
+                "(%.3fx) noise_quota=%.6fs (%.3fx)\n",
+                quiet->victim_walltime, noisy->victim_walltime, h,
+                contained != nullptr ? contained->victim_walltime : 0.0,
+                contained != nullptr && quiet->victim_walltime > 0
+                    ? contained->victim_walltime / quiet->victim_walltime
+                    : 0.0);
+    if (h < min_harm) {
+      std::fprintf(stderr,
+                   "FAIL: unquota'd flood only moves victim walltime "
+                   "%.3fx (< %.3fx): scenario no longer floods, the "
+                   "isolation gate is vacuous\n",
+                   h, min_harm);
+      rc = 1;
+    }
+  }
+
+  // Gate 2 (baseline): counts are producer-driven and near-exact; time
+  // metrics carry saturation jitter and get a loose tolerance. A drift
+  // beyond either means the measurement model changed — regenerate
+  // bench/BENCH_tenancy.baseline.json in the same commit when intended.
+  const char* baseline_path = std::getenv("ESP_TENANCY_BASELINE");
+  if (baseline_path != nullptr && *baseline_path != '\0') {
+    const char* gate = std::getenv("ESP_TENANCY_GATE");
+    const bool hard = gate == nullptr || std::strcmp(gate, "warn") != 0;
+    const double tol = env_double("ESP_TENANCY_TOL", 0.005);
+    const double time_tol = env_double("ESP_TENANCY_TIME_TOL", 0.25);
+    std::vector<BaselineRow> baseline;
+    if (!load_baseline(baseline_path, baseline)) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path);
+      return hard ? 2 : rc;
+    }
+    auto deviates = [](double got, double want, double bound) {
+      const double denom = want != 0.0 ? want : 1.0;
+      return std::abs(got - want) / std::abs(denom) > bound;
+    };
+    for (const auto& b : baseline) {
+      const ScenarioResult* r = find(b.name.c_str());
+      if (r == nullptr) {
+        std::fprintf(stderr, "%s: scenario %s missing from sweep\n",
+                     hard ? "FAIL" : "WARN", b.name.c_str());
+        if (hard) rc = 1;
+        continue;
+      }
+      const struct {
+        const char* field;
+        double got, want, bound;
+      } checks[] = {
+          {"victim_p50", r->victim_p50, b.victim_p50, time_tol},
+          {"victim_p99", r->victim_p99, b.victim_p99, time_tol},
+          {"victim_events", static_cast<double>(r->victim_events),
+           b.victim_events, tol},
+          {"victim_walltime", r->victim_walltime, b.victim_walltime,
+           time_tol},
+          {"flooder_shed", static_cast<double>(r->flooder_shed),
+           b.flooder_shed, tol},
+      };
+      for (const auto& c : checks) {
+        if (deviates(c.got, c.want, c.bound)) {
+          std::fprintf(stderr, "%s: %s.%s %g -> %g (baseline drift)\n",
+                       hard ? "FAIL" : "WARN", b.name.c_str(), c.field,
+                       c.want, c.got);
+          if (hard) rc = 1;
+        }
+      }
+    }
+  }
+  return rc;
+}
+
+/// Wall-clock benchmark over the same scenarios (profiling aid; the
+/// regression gate uses the JSON mode above).
+void BM_TenancyScenario(benchmark::State& state) {
+  const bool flood = state.range(0) != 0;
+  const bool quota = state.range(0) == 2;
+  double p99 = 0.0;
+  for (auto _ : state) {
+    const ScenarioResult r =
+        run_scenario(flood ? (quota ? "noise_quota" : "noise_unlimited")
+                           : "no_noise",
+                     flood, quota);
+    p99 = r.victim_p99;
+  }
+  state.counters["victim_p99_s"] = benchmark::Counter(p99);
+}
+BENCHMARK(BM_TenancyScenario)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json = std::getenv("ESP_TENANCY_BENCH_JSON");
+  if (json != nullptr && *json != '\0') return run_sweep(json);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,10 @@
 #include "analysis/analyzer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <optional>
+#include <thread>
 
 #include "analysis/modules.hpp"
 #include "analysis/modules_ext.hpp"
@@ -41,8 +44,9 @@ struct Reader {
 
 /// Blob version tag; bumped whenever the reduction wire format changes
 /// ("ESP4" added the per-app telemetry counters; "ESP5" appended failover
-/// telemetry and degradation-ladder accounting).
-constexpr std::uint32_t kBlobTag = 0x45535035;
+/// telemetry and degradation-ladder accounting; "ESP6" appended the
+/// tenant-fabric shed/job/latency accounting).
+constexpr std::uint32_t kBlobTag = 0x45535036;
 
 std::vector<std::byte> serialize(const AppResults& a) {
   Writer w;
@@ -95,12 +99,56 @@ std::vector<std::byte> serialize(const AppResults& a) {
   w.put(a.degrade.packs_full);
   w.put(a.degrade.packs_sampled);
   w.put(a.degrade.packs_aggregated);
+  // Tenant-fabric accounting (reduced parts only; admission metadata is
+  // filled by the fabric root after the merge).
+  w.put(a.tenant.packs_shed);
+  w.put(a.tenant.events_shed);
+  w.put(a.tenant.jobs_executed);
+  w.put(a.tenant.jobs_failed);
+  w.put(a.tenant.ks_quarantined);
+  w.put(a.tenant.latency.count);
+  for (std::uint64_t b : a.tenant.latency.bins) w.put(b);
   return std::move(w.out);
 }
 
 void merge_dead_ranks(std::vector<int>& into, int rank) {
   if (std::find(into.begin(), into.end(), rank) == into.end())
     into.push_back(rank);
+}
+
+/// Analyzer-side quota shedding: true when this pack must be dropped.
+/// Budgets are judged per producing rank — each of the tenant's nprocs
+/// ranks gets an equal share of the tenant's entry rate plus the full
+/// burst depth — and entirely from pack-header facts (t_flush, t_admit,
+/// event counts), never from this reader's clock, so a pack's fate is a
+/// pure function of its producer's deterministic history.
+bool shed_pack(const TenantSpec& spec, const inst::PackHeader& h,
+               std::map<std::uint64_t, std::uint64_t>& link_accepted,
+               std::map<int, std::uint64_t>& app_submitted) {
+  // KS job budget, proxied by submitted packs on this analyzer rank: each
+  // pack fans out into its level's registered knowledge sources, so
+  // capping packs caps the jobs the tenant can charge to the engine.
+  if (spec.quota.job_budget != 0) {
+    const auto it = app_submitted.find(spec.app_id);
+    if (it != app_submitted.end() && it->second >= spec.quota.job_budget)
+      return true;
+  }
+  if (spec.quota.entry_rate <= 0.0) return false;
+  const double share =
+      spec.quota.entry_rate / static_cast<double>(std::max(spec.nprocs, 1));
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(spec.app_id))
+       << 32) |
+      static_cast<std::uint32_t>(h.app_rank);
+  auto& accepted = link_accepted[key];
+  const double window = std::max(0.0, h.t_flush - h.t_admit);
+  const double allowance =
+      share * window + spec.quota.burst_events;
+  if (static_cast<double>(accepted) + static_cast<double>(h.event_count) >
+      allowance)
+    return true;
+  accepted += h.event_count;
+  return false;
 }
 
 void merge_serialized(AppResults& out, const std::vector<std::byte>& blob) {
@@ -164,6 +212,14 @@ void merge_serialized(AppResults& out, const std::vector<std::byte>& blob) {
   out.degrade.packs_full += r.get<std::uint64_t>();
   out.degrade.packs_sampled += r.get<std::uint64_t>();
   out.degrade.packs_aggregated += r.get<std::uint64_t>();
+  // Tenant-fabric accounting.
+  out.tenant.packs_shed += r.get<std::uint64_t>();
+  out.tenant.events_shed += r.get<std::uint64_t>();
+  out.tenant.jobs_executed += r.get<std::uint64_t>();
+  out.tenant.jobs_failed += r.get<std::uint64_t>();
+  out.tenant.ks_quarantined += r.get<std::uint64_t>();
+  out.tenant.latency.count += r.get<std::uint64_t>();
+  for (auto& b : out.tenant.latency.bins) b += r.get<std::uint64_t>();
 }
 
 }  // namespace
@@ -221,8 +277,31 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
   if (cfg.read_batch <= 0)
     throw std::invalid_argument("AnalyzerConfig::read_batch must be > 0");
   const int read_batch = cfg.read_batch;
+
+  // Reduce root — and, in fabric mode, admission root: the first rank of
+  // this partition with no crash scheduled under the fault plan. The plan
+  // is known identically to every rank before the run, so all survivors
+  // agree on the root without any communication — killing analyzer rank 0
+  // kills neither the report nor the fabric control plane.
+  const mpi::Comm& world = env.world;
+  const int arank = env.world_rank;
+  int root = 0;
+  if (rt.injector().enabled()) {
+    for (int a = 0; a < env.partition->size; ++a) {
+      if (!rt.injector().has_crash(env.partition->first_world_rank + a)) {
+        root = a;
+        break;
+      }
+    }
+  }
+  const bool fabric = cfg.fabric.enabled;
+  const bool admission_root = fabric && arank == root;
+  std::optional<AdmissionController> admission;
+  if (admission_root) admission.emplace(env, cfg.fabric);
+
   std::vector<BufferRef> blocks;
   std::vector<bb::DataEntry> batch;
+  std::map<int, std::vector<bb::DataEntry>> app_batches;  // fabric mode
   blocks.reserve(static_cast<std::size_t>(read_batch));
   batch.reserve(static_cast<std::size_t>(read_batch));
   // Fidelity accounting: at which rung of the degradation ladder each
@@ -230,28 +309,109 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
   // place every delivered pack passes through) and folded into the report
   // so degraded windows are flagged, not silently averaged in.
   std::map<int, DegradeStats> local_degrade;
+  // Tenant-fabric read-side accounting: quota shedding cursors, per-app
+  // shed counters, and the event-to-flush latency histograms.
+  std::map<int, TenantStats> local_tenant;
+  std::map<std::uint64_t, std::uint64_t> link_accepted;
+  std::map<int, std::uint64_t> app_submitted_packs;
+  std::vector<int> torn_down;
+  std::uint32_t sweep_tick = 0;
+
+  // Fabric teardown: once every one of a tenant's links has closed or
+  // died, drain the board (the tenant's last jobs retire into its
+  // ledger), remove its knowledge sources, and release its stream slots —
+  // all without touching the survivors. The sweep's host-time placement
+  // is nondeterministic but observation-invariant: every counter it folds
+  // is already final once the tenant's links are terminal.
+  auto teardown_sweep = [&] {
+    if (!fabric) return;
+    for (const auto& lvl : levels) {
+      if (std::find(torn_down.begin(), torn_down.end(), lvl.app_id) !=
+          torn_down.end())
+        continue;
+      bool any = false;
+      bool done = true;
+      for (const auto& ps : stream.peer_stats()) {
+        if (rt.partition_of_world(ps.universe_rank).id != lvl.app_id)
+          continue;
+        any = true;
+        if (!ps.closed && !ps.dead) {
+          done = false;
+          break;
+        }
+      }
+      if (!any || !done) continue;
+      board.drain();
+      board.remove_tenant(lvl.app_id);
+      stream.reclaim_closed_slots();
+      torn_down.push_back(lvl.app_id);
+    }
+  };
+
   for (;;) {
     blocks.clear();
     batch.clear();
-    const int r = stream.read_some(blocks, read_batch);
+    app_batches.clear();
+    // The admission root must never block in read(): verdicts owed to
+    // queued tenants are issued by *this* loop, and a pending tenant's
+    // links carry no data until it is admitted and running.
+    const int r = stream.read_some(blocks, read_batch,
+                                   admission_root ? vmpi::kNonblock : 0);
     for (auto& block : blocks) {
       const auto view = inst::PackView::parse(block->data(), block->size());
+      int app = -1;
       if (view.valid()) {
+        app = static_cast<int>(view.header->app_id);
+        if (fabric) {
+          const TenantSpec* spec = cfg.fabric.find(app);
+          if (spec != nullptr && shed_pack(*spec, *view.header, link_accepted,
+                                           app_submitted_packs)) {
+            // Dropped over quota: charged to this tenant's ledger only.
+            // No analysis time is spent on it, so a flooding tenant
+            // cannot slow the reader down for its neighbours either.
+            auto& ts = local_tenant[app];
+            ++ts.packs_shed;
+            ts.events_shed += view.header->event_count;
+            continue;
+          }
+          ++app_submitted_packs[app];
+          auto& ts = local_tenant[app];
+          for (const auto& ev : view.span())
+            ts.latency.add(view.header->t_flush - ev.t_begin,
+                           inst::event_weight(ev));
+        }
         rc.advance(static_cast<double>(view.header->event_count) * per_event);
-        auto& dg = local_degrade[static_cast<int>(view.header->app_id)];
+        auto& dg = local_degrade[app];
         switch (static_cast<inst::PackMode>(view.header->mode)) {
           case inst::PackMode::Full: ++dg.packs_full; break;
           case inst::PackMode::Sampled: ++dg.packs_sampled; break;
           case inst::PackMode::Aggregated: ++dg.packs_aggregated; break;
         }
       }
-      batch.emplace_back(pack_type(), std::move(block));
+      if (fabric)
+        app_batches[app].emplace_back(pack_type(), std::move(block));
+      else
+        batch.emplace_back(pack_type(), std::move(block));
     }
     if (!batch.empty()) board.submit_batch(batch);
+    // Fabric: one submission per application so the batch carries a
+    // tenant affinity — the fair-share scheduler keys each tenant's jobs
+    // to a stable injection FIFO and round-robins across them.
+    for (auto& [app, ab] : app_batches) board.submit_batch(ab, app);
+    bool drained = true;
+    if (admission) drained = admission->poll(rc);
     // 0 = every writer closed cleanly; kEpipe = no more data can arrive
-    // but >= 1 writer died — either way, analyze what we got.
-    if (r == 0 || r == vmpi::kEpipe) break;
+    // but >= 1 writer died — either way, analyze what we got. The
+    // admission root additionally waits for the control plane to drain
+    // (every tenant attached, decided and released).
+    if ((r == 0 || r == vmpi::kEpipe) && drained) break;
+    if (fabric && (++sweep_tick & 63u) == 0) teardown_sweep();
+    // Non-blocking root: don't busy-spin host CPU while the fabric is
+    // idle. Real-time sleep only — no virtual clock is touched.
+    if (admission_root && blocks.empty())
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
+  teardown_sweep();
   board.drain();
   board.stop();
 
@@ -280,22 +440,7 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
     tel.blocks_replayed += ps.blocks_replayed;
   }
 
-  // Reduce per-application partials onto a *surviving* analyzer rank: the
-  // first rank of this partition with no crash scheduled under the fault
-  // plan. The plan is known identically to every rank before the run, so
-  // all survivors agree on the root without any communication — killing
-  // analyzer rank 0 no longer kills the report.
-  const mpi::Comm& world = env.world;
-  const int arank = env.world_rank;
-  int root = 0;
-  if (rt.injector().enabled()) {
-    for (int a = 0; a < env.partition->size; ++a) {
-      if (!rt.injector().has_crash(env.partition->first_world_rank + a)) {
-        root = a;
-        break;
-      }
-    }
-  }
+  // Reduce per-application partials onto the surviving root chosen above.
   std::map<int, AppResults> merged_apps;  // root only
   for (const auto& lvl : levels) {
     AppResults local;
@@ -314,6 +459,16 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
       local.telemetry = it->second;
     if (auto it = local_degrade.find(lvl.app_id); it != local_degrade.end())
       local.degrade = it->second;
+    if (fabric) {
+      if (auto it = local_tenant.find(lvl.app_id); it != local_tenant.end())
+        local.tenant = it->second;
+      // Blackboard work charged to this tenant on this rank (retired KS
+      // counters were folded into the ledger at teardown).
+      const auto tc = board.tenant_counters(lvl.app_id);
+      local.tenant.jobs_executed = tc.jobs_executed;
+      local.tenant.jobs_failed = tc.jobs_failed;
+      local.tenant.ks_quarantined = tc.ks_quarantined;
+    }
     for (auto& v : local.density)
       if (v.size() < static_cast<std::size_t>(lvl.size))
         v.resize(static_cast<std::size_t>(lvl.size), 0.0);
@@ -349,6 +504,23 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
       board.merge_level(lvl.name, blob);
     }
     merged_apps[lvl.app_id] = std::move(*state);
+  }
+
+  // Fabric root: stamp each chapter with its admission record (arrival,
+  // verdict, admit/release times) — metadata only the admission root has.
+  if (admission) {
+    for (auto& [id, app] : merged_apps) {
+      app.tenant.fabric = true;
+      const auto it = admission->records().find(id);
+      if (it == admission->records().end()) continue;
+      const auto& rec = it->second;
+      app.tenant.admitted = rec.admitted;
+      app.tenant.rejected = rec.decided && !rec.admitted;
+      app.tenant.arrival = rec.arrival;
+      app.tenant.t_admit = rec.t_admit;
+      app.tenant.t_release = rec.t_release;
+      app.tenant.released_by_death = rec.released_by_death;
+    }
   }
 
   // Session-health + engine-telemetry reduction: explicit point-to-point
@@ -388,6 +560,18 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
     session_health.telemetry.blocks_read += h[5];
     session_health.telemetry.bytes_read += h[6];
     session_health.telemetry.eagain_returns += h[7];
+  }
+  // Fabric roll-up: the admission tallies plus what quota shedding cost
+  // the session across all tenants.
+  if (admission) {
+    session_health.tenants_admitted =
+        static_cast<std::uint64_t>(admission->admitted_count());
+    session_health.tenants_rejected =
+        static_cast<std::uint64_t>(admission->rejected_count());
+    for (const auto& [id, app] : merged_apps) {
+      (void)id;
+      session_health.tenant_packs_shed += app.tenant.packs_shed;
+    }
   }
   // Crashed ranks, from the runtime's authoritative records: every app
   // rank died (if at all) before its stream drained, so the list is

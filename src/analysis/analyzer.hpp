@@ -24,6 +24,7 @@
 #include <string>
 
 #include "analysis/app_results.hpp"
+#include "analysis/tenant.hpp"
 #include "blackboard/blackboard.hpp"
 #include "simmpi/runtime.hpp"
 #include "vmpi/map.hpp"
@@ -50,6 +51,12 @@ struct AnalyzerConfig {
   std::string output_dir;
   /// Optional programmatic sink, filled by the reduce root.
   std::shared_ptr<AnalysisResults> results;
+  /// Tenant fabric: when enabled, the reduce root doubles as admission
+  /// root (non-blocking read loop interleaved with control-plane polling),
+  /// per-tenant quotas shed flooding links, and departed tenants are torn
+  /// down (blackboard KSs removed, stream slots reclaimed) without
+  /// touching the survivors.
+  FabricConfig fabric;
 };
 
 /// Run the analyzer on the calling rank. Use as the partition main:

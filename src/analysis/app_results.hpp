@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/tenant.hpp"
 #include "instrument/event.hpp"
 
 namespace esp::an {
@@ -127,6 +128,27 @@ struct DegradeStats {
   }
 };
 
+/// Tenant-fabric accounting for one application: its admission outcome,
+/// what the per-tenant quotas shed, which blackboard work it was charged
+/// for, and its event-to-flush latency distribution (the isolation
+/// metric). Admission metadata is filled by the fabric root; the shed /
+/// job / latency counters are reduced across analyzer ranks.
+struct TenantStats {
+  bool fabric = false;  ///< Ran under the tenant fabric at all.
+  bool admitted = false;
+  bool rejected = false;
+  double arrival = 0.0;
+  double t_admit = 0.0;
+  double t_release = 0.0;
+  bool released_by_death = false;  ///< Released by crashing, not detaching.
+  std::uint64_t packs_shed = 0;   ///< Packs dropped by rate/job quotas.
+  std::uint64_t events_shed = 0;  ///< Event records inside shed packs.
+  std::uint64_t jobs_executed = 0;  ///< Blackboard jobs charged to it.
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t ks_quarantined = 0;
+  LatencyHist latency;  ///< Event-to-flush latency (virtual seconds).
+};
+
 /// Everything the analyzer learned about one application.
 struct AppResults {
   int app_id = -1;
@@ -155,6 +177,9 @@ struct AppResults {
 
   /// At which fidelity it arrived (degradation ladder accounting).
   DegradeStats degrade;
+
+  /// Its life as a fabric tenant (zero-initialized outside fabric mode).
+  TenantStats tenant;
 
   static std::uint64_t comm_key(std::int32_t src, std::int32_t dst) noexcept {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
@@ -187,6 +212,11 @@ struct SessionHealth {
   std::vector<int> dead_world_ranks;     ///< Every crashed rank (world ids).
   std::vector<int> dead_analyzer_ranks;  ///< Analyzer partition ranks lost.
   SessionTelemetry telemetry;
+
+  // Tenant-fabric roll-up (all zero outside fabric mode).
+  std::uint64_t tenants_admitted = 0;
+  std::uint64_t tenants_rejected = 0;
+  std::uint64_t tenant_packs_shed = 0;  ///< Packs dropped by quota shedding.
 
   bool degraded() const noexcept {
     return jobs_failed != 0 || ks_quarantined != 0 ||

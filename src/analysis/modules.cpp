@@ -75,11 +75,12 @@ void register_unpacker(bb::Blackboard& board, const AppLevel& level) {
   const bb::TypeId in = pack_type(level);
   const bb::TypeId out_mpi = mpi_events_type(level);
   const bb::TypeId out_posix = posix_events_type(level);
+  const int tenant = level.app_id;
   board.register_ks(
       {"unpacker:" + level.name,
        {in},
-       [out_mpi, out_posix](bb::Blackboard& b,
-                            std::span<const bb::DataEntry> entries) {
+       [out_mpi, out_posix, tenant](bb::Blackboard& b,
+                                    std::span<const bb::DataEntry> entries) {
          const auto& e = entries[0];
          const bool obs_on = obs::enabled();
          const double t_begin = obs_on ? obs::real_now() : 0.0;
@@ -107,7 +108,9 @@ void register_unpacker(bb::Blackboard& board, const AppLevel& level) {
          };
          emit(out_mpi, mpi_events);
          emit(out_posix, posix_events);
-         b.submit_batch(out);
+         // Derived entries keep the tenant's affinity so the fair-share
+         // scheduler can key them to the same injection FIFO.
+         b.submit_batch(out, tenant);
          if (obs_on) {
            auto& o = aobs();
            o.packs.add(1);
@@ -116,7 +119,8 @@ void register_unpacker(bb::Blackboard& board, const AppLevel& level) {
            obs::trace_span("an", "an.unpack", t_begin, obs::real_now(),
                            v.header->event_count, "events");
          }
-       }});
+       },
+       level.app_id});
 }
 
 // ---------------------------------------------------------------------------
@@ -150,10 +154,12 @@ void MpiProfiler::register_on(bb::Blackboard& board, const AppLevel& level) {
   };
   board.register_ks({"mpi_profiler:" + level.name,
                      {mpi_events_type(level)},
-                     op});
+                     op,
+                     level.app_id});
   board.register_ks({"posix_profiler:" + level.name,
                      {posix_events_type(level)},
-                     op});
+                     op,
+                     level.app_id});
 }
 
 void MpiProfiler::merge_into(AppResults& out, int app_id) const {
@@ -206,7 +212,8 @@ void TopologyModule::register_on(bb::Blackboard& board,
            cell.bytes += w * ev.bytes;
            cell.time += static_cast<double>(w) * (ev.t_end - ev.t_begin);
          }
-       }});
+       },
+       level.app_id});
 }
 
 void TopologyModule::merge_into(AppResults& out, int app_id) const {
@@ -268,9 +275,12 @@ void DensityModule::register_on(bb::Blackboard& board, const AppLevel& level) {
       }
     }
   };
-  board.register_ks({"density:" + level.name, {mpi_events_type(level)}, op});
   board.register_ks(
-      {"density_posix:" + level.name, {posix_events_type(level)}, op});
+      {"density:" + level.name, {mpi_events_type(level)}, op, level.app_id});
+  board.register_ks({"density_posix:" + level.name,
+                     {posix_events_type(level)},
+                     op,
+                     level.app_id});
 }
 
 void DensityModule::merge_into(AppResults& out, int app_id) const {

@@ -52,9 +52,11 @@ void TemporalMapModule::register_on(bb::Blackboard& board,
     }
   };
   board.register_ks(
-      {"temporal:" + level.name, {mpi_events_type(level)}, op});
-  board.register_ks(
-      {"temporal_posix:" + level.name, {posix_events_type(level)}, op});
+      {"temporal:" + level.name, {mpi_events_type(level)}, op, level.app_id});
+  board.register_ks({"temporal_posix:" + level.name,
+                     {posix_events_type(level)},
+                     op,
+                     level.app_id});
 }
 
 void TemporalMapModule::merge_into(AppResults& res, int app_id) const {
@@ -129,7 +131,8 @@ void WaitStateModule::register_on(bb::Blackboard& board,
            acc->waits.pair_wait[AppResults::comm_key(ev.rank, ev.peer)] +=
                w * excess;
          }
-       }});
+       },
+       level.app_id});
 }
 
 void WaitStateModule::merge_into(AppResults& res, int app_id) const {

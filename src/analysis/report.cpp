@@ -156,6 +156,35 @@ void chapter(std::ofstream& md, const AppResults& app,
        << "- aggregated packs: " << dg.packs_aggregated << "\n";
   }
 
+  if (app.tenant.fabric) {
+    const auto& t = app.tenant;
+    md << "\n### Tenant\n\n"
+       << "- admission: "
+       << (t.admitted ? "admitted"
+                      : (t.rejected ? "**REJECTED** (quota saturation)"
+                                    : "undecided"))
+       << "\n"
+       << "- arrival: " << format_time(t.arrival) << "\n";
+    if (t.admitted) {
+      md << "- admitted at: " << format_time(t.t_admit) << "\n"
+         << "- released at: " << format_time(t.t_release)
+         << (t.released_by_death ? " (by crash)" : "") << "\n";
+    }
+    if (t.packs_shed != 0) {
+      md << "- packs shed over quota: " << t.packs_shed << " ("
+         << t.events_shed << " events)\n";
+    }
+    md << "- blackboard jobs charged: " << t.jobs_executed
+       << " (failed: " << t.jobs_failed
+       << ", quarantined KSs: " << t.ks_quarantined << ")\n";
+    if (t.latency.count != 0) {
+      md << "- event-to-flush latency: p50 "
+         << format_time(t.latency.quantile(0.50)) << ", p99 "
+         << format_time(t.latency.quantile(0.99)) << " ("
+         << t.latency.count << " weighted events)\n";
+    }
+  }
+
   if (!app.loss.clean() || app.loss.blocks_retried != 0) {
     md << "\n### Data loss\n\n"
        << "This chapter is incomplete — the measurement infrastructure "
@@ -208,6 +237,12 @@ bool write_report(const std::string& output_dir,
        << "\n"
        << "- applications with data loss: " << lossy_apps << " of "
        << apps.size() << "\n";
+    if (health->tenants_admitted + health->tenants_rejected != 0) {
+      md << "\n## Tenant fabric\n\n"
+         << "- tenants admitted: " << health->tenants_admitted << "\n"
+         << "- tenants rejected: " << health->tenants_rejected << "\n"
+         << "- packs shed over quota: " << health->tenant_packs_shed << "\n";
+    }
 
     const auto& tel = health->telemetry;
     if (tel.jobs_executed != 0 || tel.blocks_read != 0) {

@@ -101,11 +101,16 @@ KsId Blackboard::register_ks(KsSpec spec) {
   ks->name = std::move(spec.name);
   ks->sensitivities = std::move(spec.sensitivities);
   ks->operation = std::move(spec.operation);
+  ks->tenant = spec.tenant;
   for (TypeId t : ks->sensitivities) ks->multiplicity[t] += 1;
 
   // Count BEFORE the KS becomes visible to remove_ks: a concurrent
   // stats() reader must never observe ks_removed > ks_registered.
   ks_registered_.fetch_add(1);
+  if (ks->tenant >= 0) {
+    std::lock_guard lock(tenant_mu_);
+    tenant_ledger_[ks->tenant].ks_registered += 1;
+  }
   {
     std::lock_guard lock(registry_mu_);
     ks_by_id_.emplace(ks->id, ks);
@@ -142,11 +147,53 @@ void Blackboard::remove_ks(KsId id) {
   }
   ks->alive.store(false, std::memory_order_release);
   ks_removed_.fetch_add(1);
+  if (ks->tenant >= 0) {
+    // Fold the retired KS's job history into its tenant's ledger; the
+    // registry erase above makes this fold happen exactly once.
+    std::lock_guard lock(tenant_mu_);
+    auto& tc = tenant_ledger_[ks->tenant];
+    tc.ks_removed += 1;
+    tc.jobs_executed += ks->jobs_run.load(std::memory_order_relaxed);
+    tc.jobs_failed += ks->jobs_thrown.load(std::memory_order_relaxed);
+  }
+}
+
+int Blackboard::remove_tenant(int tenant) {
+  std::vector<KsId> ids;
+  {
+    std::lock_guard lock(registry_mu_);
+    for (const auto& [id, ks] : ks_by_id_)
+      if (ks->tenant == tenant) ids.push_back(id);
+  }
+  for (KsId id : ids) remove_ks(id);
+  return static_cast<int>(ids.size());
+}
+
+Blackboard::TenantCounters Blackboard::tenant_counters(int tenant) const {
+  TenantCounters out;
+  {
+    std::lock_guard lock(tenant_mu_);
+    auto it = tenant_ledger_.find(tenant);
+    if (it != tenant_ledger_.end()) out = it->second;
+  }
+  std::lock_guard lock(registry_mu_);
+  for (const auto& [id, ks] : ks_by_id_) {
+    (void)id;
+    if (ks->tenant != tenant) continue;
+    out.jobs_executed += ks->jobs_run.load(std::memory_order_relaxed);
+    out.jobs_failed += ks->jobs_thrown.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void Blackboard::push(DataEntry entry) { submit_batch({&entry, 1}); }
 
 void Blackboard::submit_batch(std::span<const DataEntry> entries) {
+  submit_batch(entries, -1);
+}
+
+void Blackboard::submit_batch(std::span<const DataEntry> entries,
+                              int affinity) {
   if (entries.empty()) return;
   // Superset before subset (see BlackboardStats): entries first.
   entries_pushed_.fetch_add(entries.size());
@@ -233,10 +280,10 @@ void Blackboard::submit_batch(std::span<const DataEntry> entries) {
       }
     }
   }
-  enqueue_batch(jobs);
+  enqueue_batch(jobs, affinity);
 }
 
-void Blackboard::enqueue_batch(std::vector<Job*>& jobs) {
+void Blackboard::enqueue_batch(std::vector<Job*>& jobs, int affinity) {
   if (jobs.empty()) return;
   inflight_.fetch_add(static_cast<std::int64_t>(jobs.size()),
                       std::memory_order_acq_rel);
@@ -249,8 +296,12 @@ void Blackboard::enqueue_batch(std::vector<Job*>& jobs) {
     if (obs::enabled()) bobs().deque_depth.observe(dq.size_estimate());
   } else if (cfg_.scheduler == SchedulerMode::WorkStealing) {
     // External producer: one injection-FIFO lock for the whole batch.
+    // Tenant-affine batches (affinity >= 0) always use the same FIFO so
+    // fair-share sweeping gives each tenant its own service quantum.
     const std::size_t qi =
-        mix64(rr_seed_.fetch_add(0x9e3779b9)) % fifos_.size();
+        affinity >= 0
+            ? mix64(static_cast<std::uint64_t>(affinity) + 1) % fifos_.size()
+            : mix64(rr_seed_.fetch_add(0x9e3779b9)) % fifos_.size();
     std::lock_guard lock(fifos_[qi]->mu);
     for (Job* j : jobs) fifos_[qi]->jobs.push_back(j);
   } else {
@@ -288,9 +339,14 @@ Blackboard::Job* Blackboard::next_job(int worker_index, Rng& rng) {
   }
   // 1. Own deque (lock-free LIFO: freshest work, hottest caches).
   if (Job* j = workers_[wi]->deque.pop()) return j;
-  // 2. Injection FIFOs, own slot first so external work spreads evenly.
+  // 2. Injection FIFOs. Default: own slot first so external work spreads
+  // evenly. Fair share: rotate the sweep start every visit — one job per
+  // grab means each non-empty FIFO (i.e. each tenant, under affine
+  // submission) gets a one-job quantum per round.
+  const std::size_t start =
+      cfg_.fair_share ? wi + workers_[wi]->fifo_rr++ : wi;
   for (std::size_t k = 0; k < fifos_.size(); ++k)
-    if (Job* j = pop_fifo((wi + k) % fifos_.size())) return j;
+    if (Job* j = pop_fifo((start + k) % fifos_.size())) return j;
   // 3. Steal from a victim's deque, random start to avoid convoys.
   if (workers_.size() > 1) {
     const std::size_t start = rng.below(workers_.size());
@@ -318,6 +374,7 @@ void Blackboard::execute(Job* job) {
     // Superset before subset (see BlackboardStats): executed is counted
     // before the operation can fail, so failed <= executed always.
     jobs_executed_.fetch_add(1);
+    job->ks->jobs_run.fetch_add(1, std::memory_order_relaxed);
     ++groups;
     // Liveness is re-checked per group: a quarantine triggered earlier in
     // this very chunk stops the remaining invocations.
@@ -331,6 +388,7 @@ void Blackboard::execute(Job* job) {
         job->ks->consecutive_failures.store(0, std::memory_order_relaxed);
       } catch (...) {
         jobs_failed_.fetch_add(1);
+        job->ks->jobs_thrown.fetch_add(1, std::memory_order_relaxed);
         const int streak = job->ks->consecutive_failures.fetch_add(
                                1, std::memory_order_acq_rel) +
                            1;
@@ -339,6 +397,10 @@ void Blackboard::execute(Job* job) {
         if (streak == cfg_.quarantine_threshold) {
           remove_ks(job->ks->id);
           ks_quarantined_.fetch_add(1);
+          if (job->ks->tenant >= 0) {
+            std::lock_guard lock(tenant_mu_);
+            tenant_ledger_[job->ks->tenant].ks_quarantined += 1;
+          }
         }
       }
     }

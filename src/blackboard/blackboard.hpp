@@ -121,6 +121,9 @@ struct KsSpec {
   std::string name;
   std::vector<TypeId> sensitivities;  ///< Multiset; duplicates allowed.
   Operation operation;
+  /// Owning tenant (application/partition id) for fabric accounting and
+  /// fault containment; -1 = shared infrastructure (e.g. the dispatcher).
+  int tenant = -1;
 };
 
 /// Job scheduler selection; LockedFifos is the paper's original design,
@@ -151,6 +154,12 @@ struct BlackboardConfig {
   SchedulerMode scheduler = SchedulerMode::WorkStealing;
   /// Sensitivity-index shard count (rounded up to a power of two).
   int index_shards = 16;
+  /// Fair-share injection service (tenant fabric): each worker rotates
+  /// its FIFO sweep start instead of always draining slot `wi` first, a
+  /// deficit-style one-job quantum per queue. Combined with the
+  /// tenant-affine submit_batch() overload this keeps one flooding
+  /// tenant from monopolizing the injection boundary.
+  bool fair_share = false;
 };
 
 /// Engine counters. A snapshot taken by stats() while workers are running
@@ -209,9 +218,36 @@ class Blackboard {
   /// atomically (all entries or none).
   void submit_batch(std::span<const DataEntry> entries);
 
+  /// Tenant-affine batch submission: external batches sharing an
+  /// affinity key (>= 0) always land in the same injection FIFO, so the
+  /// fair-share sweep services tenants round-robin instead of by hash
+  /// luck. Affinity -1 falls back to the hashed round-robin choice.
+  void submit_batch(std::span<const DataEntry> entries, int affinity);
+
   /// Block until no jobs are queued or running. Entries held by partially
   /// satisfied multi-sensitivity KSs are not runnable work and stay queued.
   void drain();
+
+  // ---- tenant fabric: per-tenant accounting + containment teardown ----
+
+  /// Engine counters attributed to one tenant (see KsSpec::tenant).
+  struct TenantCounters {
+    std::uint64_t ks_registered = 0;
+    std::uint64_t ks_removed = 0;
+    std::uint64_t ks_quarantined = 0;
+    std::uint64_t jobs_executed = 0;
+    std::uint64_t jobs_failed = 0;
+  };
+  /// Counters for one tenant, live and retired KSs combined.
+  TenantCounters tenant_counters(int tenant) const;
+
+  /// Fault-containment teardown: remove every KS owned by `tenant`,
+  /// folding its job counters into the retired ledger so the tenant's
+  /// report chapter keeps its history. Returns the number of KSs
+  /// removed. Call only after drain() for the tenant's traffic — jobs
+  /// queued for a removed KS are skipped, which would silently drop the
+  /// tenant's tail entries.
+  int remove_tenant(int tenant);
 
   // ---- per-level reduction state (analyzer failover support) ----
   //
@@ -253,8 +289,12 @@ class Blackboard {
     std::string name;
     std::vector<TypeId> sensitivities;
     Operation operation;
+    int tenant = -1;
     std::atomic<bool> alive{true};
     std::atomic<int> consecutive_failures{0};
+    /// Per-KS job counts, folded into the tenant ledger at removal.
+    std::atomic<std::uint64_t> jobs_run{0};
+    std::atomic<std::uint64_t> jobs_thrown{0};
 
     /// Pending entries per type + needed multiplicity per type.
     std::mutex mu;
@@ -287,6 +327,9 @@ class Blackboard {
   struct Worker {
     StealDeque<Job> deque;
     std::thread thread;
+    /// Fair-share rotation of the injection-FIFO sweep start (only the
+    /// owning worker thread touches it).
+    std::size_t fifo_rr = 0;
   };
 
   /// One shard of the sensitivity hash table.
@@ -299,7 +342,7 @@ class Blackboard {
     return index_shards_[mix64(t) & shard_mask_];
   }
 
-  void enqueue_batch(std::vector<Job*>& jobs);
+  void enqueue_batch(std::vector<Job*>& jobs, int affinity = -1);
   Job* next_job(int worker_index, Rng& rng);
   Job* pop_fifo(std::size_t qi);
   void execute(Job* job);
@@ -312,9 +355,14 @@ class Blackboard {
   std::vector<IndexShard> index_shards_;
   std::size_t shard_mask_ = 0;
   // KS registry (registration bookkeeping only; not on the submit path).
-  std::mutex registry_mu_;
+  mutable std::mutex registry_mu_;
   std::unordered_map<KsId, std::shared_ptr<KsState>> ks_by_id_;
   std::atomic<KsId> next_ks_id_{1};
+
+  // Tenant ledger: registration/removal/quarantine counts plus the job
+  // counters of retired KSs (live KS jobs are summed at query time).
+  mutable std::mutex tenant_mu_;
+  std::unordered_map<int, TenantCounters> tenant_ledger_;
 
   std::vector<std::unique_ptr<Fifo>> fifos_;
   std::atomic<std::uint64_t> rr_seed_{0x1234};

@@ -52,6 +52,24 @@ std::shared_ptr<an::AnalysisResults> Session::run() {
       "ESP_SESSION_DEADLINE", cfg_.runtime.watchdog_virtual_deadline);
   cfg_.runtime.watchdog_stall_seconds = env_double(
       "ESP_SESSION_STALL", cfg_.runtime.watchdog_stall_seconds);
+  auto& tn = cfg_.tenants;
+  tn.enabled = env_flag("ESP_TENANT", tn.enabled);
+  tn.mean_arrival_gap = env_double("ESP_TENANT_GAP", tn.mean_arrival_gap);
+  tn.max_active =
+      static_cast<int>(env_int("ESP_TENANT_MAXACTIVE", tn.max_active));
+  tn.stream_bytes_cap = static_cast<std::uint64_t>(env_int(
+      "ESP_TENANT_STREAMBYTES",
+      static_cast<std::int64_t>(tn.stream_bytes_cap)));
+  tn.max_admission_delay =
+      env_double("ESP_TENANT_MAXDELAY", tn.max_admission_delay);
+  tn.fair_share = env_flag("ESP_TENANT_FAIR", tn.fair_share);
+  tn.default_quota.entry_rate =
+      env_double("ESP_TENANT_RATE", tn.default_quota.entry_rate);
+  tn.default_quota.burst_events =
+      env_double("ESP_TENANT_BURST", tn.default_quota.burst_events);
+  tn.default_quota.job_budget = static_cast<std::uint64_t>(env_int(
+      "ESP_TENANT_JOBS",
+      static_cast<std::int64_t>(tn.default_quota.job_budget)));
 
   int total_app_procs = 0;
   for (const auto& a : apps_) total_app_procs += a.nprocs;
@@ -73,6 +91,128 @@ std::shared_ptr<an::AnalysisResults> Session::run() {
   an::AnalyzerConfig acfg = cfg_.analyzer;
   acfg.results = results;
   acfg.output_dir = cfg_.output_dir;
+
+  // ---- Tenant fabric assembly -----------------------------------------
+  if (tn.enabled) {
+    an::FabricConfig fab;
+    fab.enabled = true;
+    fab.max_active = tn.max_active;
+    fab.stream_bytes_cap = tn.stream_bytes_cap;
+    fab.max_admission_delay = tn.max_admission_delay;
+    // Admission root = the analyzer's reduce root: the first analyzer
+    // rank with no crash scheduled. Replicated here from the resolved
+    // fault plan so tenants know whom to attach to before the run.
+    auto crash_scheduled = [&](int world) {
+      if (cfg_.faults.empty()) return false;
+      for (const auto& c : cfg_.faults.crashes)
+        if (!c.analyzer_rank && c.world_rank == world) return true;
+      return false;
+    };
+    int root_a = 0;
+    for (int a = 0; a < n_analyzer; ++a) {
+      if (!crash_scheduled(total_app_procs + a)) {
+        root_a = a;
+        break;
+      }
+    }
+    fab.root_world = total_app_procs + root_a;
+
+    std::vector<double> schedule;
+    if (tn.mean_arrival_gap > 0.0)
+      schedule = an::poisson_schedule(cfg_.runtime.seed,
+                                      static_cast<int>(apps_.size()),
+                                      tn.mean_arrival_gap);
+    int first_world = 0;
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      an::TenantSpec ts;
+      ts.app_id = static_cast<int>(i);
+      ts.nprocs = apps_[i].nprocs;
+      ts.rank0_world = first_world;
+      first_world += apps_[i].nprocs;
+      if (const auto it = tn.arrival.find(ts.app_id); it != tn.arrival.end())
+        ts.arrival = it->second;
+      else if (!schedule.empty())
+        ts.arrival = schedule[i];
+      if (const auto it = tn.quota.find(ts.app_id); it != tn.quota.end())
+        ts.quota = it->second;
+      else
+        ts.quota = tn.default_quota;
+      // Pinned stream bytes: what this tenant's writers hold while active.
+      if (ts.quota.stream_bytes == 0)
+        ts.quota.stream_bytes = static_cast<std::uint64_t>(ts.nprocs) *
+                                static_cast<std::uint64_t>(icfg.n_async) *
+                                icfg.block_size;
+      fab.tenants.push_back(ts);
+    }
+    acfg.fabric = fab;
+    acfg.board.fair_share = tn.fair_share;
+    // Writer-side rate budgets drive the per-tenant degradation ladder
+    // (replacing the shared backpressure trigger for budgeted tenants),
+    // so the ladder must be armed in fabric mode.
+    icfg.degrade = true;
+    for (const auto& ts : fab.tenants)
+      if (ts.quota.entry_rate > 0.0)
+        icfg.tenant_rate[ts.app_id] = ts.quota.entry_rate;
+
+    // Wrap each application main in the attach/verdict/detach protocol.
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      const an::TenantSpec spec = fab.tenants[i];
+      const int root_world = fab.root_world;
+      auto user_main = std::move(apps_[i].main);
+      apps_[i].main = [this, spec, root_world,
+                       user_main](mpi::ProcEnv& env) {
+        auto& rc = mpi::Runtime::self();
+        // The tenant's history starts at its scheduled arrival.
+        if (rc.clock < spec.arrival) rc.clock = spec.arrival;
+        bool admitted = true;
+        double t_admit = spec.arrival;
+        an::TenantVerdict v;
+        if (env.world_rank == 0) {
+          an::TenantAttach att;
+          att.app_id = spec.app_id;
+          att.nprocs = spec.nprocs;
+          att.arrival = spec.arrival;
+          env.universe.psend(&att, sizeof att, root_world,
+                             an::kTenantAttachTag);
+          const auto st = env.universe.precv(&v, sizeof v, root_world,
+                                             an::kTenantVerdictTag);
+          if (st.error == 0) {
+            admitted = v.admitted != 0;
+            t_admit = v.t_admit;
+          } else {
+            // Admission root died: deterministic self-admit at arrival
+            // (the root's crash-oracle books record the same verdict).
+            v.app_id = spec.app_id;
+            v.admitted = 1;
+            v.t_admit = spec.arrival;
+          }
+          // Relay the verdict to the siblings over the partition comm.
+          for (int r = 1; r < env.world.size(); ++r)
+            env.world.psend(&v, sizeof v, r, an::kTenantVerdictTag);
+        } else {
+          const auto st = env.world.precv(&v, sizeof v, 0,
+                                          an::kTenantVerdictTag);
+          if (st.error == 0) {
+            admitted = v.admitted != 0;
+            t_admit = v.t_admit;
+          }
+          // Rank 0 died before relaying: self-admit at arrival, matching
+          // both rank 0's fallback and the root's oracle sweep.
+        }
+        if (admitted) {
+          if (rc.clock < t_admit) rc.clock = t_admit;
+          if (tool_) tool_->note_admit(rc, t_admit);
+          user_main(env);
+        }
+        if (env.world_rank == 0) {
+          an::TenantDetach d;
+          d.app_id = spec.app_id;
+          d.t_release = rc.clock;
+          env.universe.psend(&d, sizeof d, root_world, an::kTenantDetachTag);
+        }
+      };
+    }
+  }
 
   std::vector<mpi::ProgramSpec> progs = std::move(apps_);
   progs.push_back({cfg_.instrument.analyzer_partition, n_analyzer,

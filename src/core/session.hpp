@@ -15,6 +15,7 @@
 ///   auto results = session.run();
 ///   results->find(0)->per_kind[...];
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +40,26 @@ struct SessionConfig {
   /// corruption); run() completes and the results carry a data-loss
   /// ledger under any plan. Seeded by `runtime.seed`.
   net::FaultPlan faults;
+
+  /// Tenant-fabric options: when enabled, applications become dynamically
+  /// admitted tenants — each arrives on a schedule, attaches to the
+  /// fabric's admission root, and runs only if admitted under the
+  /// per-tenant quotas. ESP_TENANT_* environment variables override the
+  /// fields at run() (documented in README.md).
+  struct TenantOptions {
+    bool enabled = false;
+    /// > 0: derive arrivals from a seeded Poisson schedule with this mean
+    /// inter-arrival gap (virtual seconds). Explicit entries in `arrival`
+    /// win over the schedule.
+    double mean_arrival_gap = 0.0;
+    std::map<int, double> arrival;          ///< Per-app arrival overrides.
+    std::map<int, an::TenantQuota> quota;   ///< Per-app quota overrides.
+    an::TenantQuota default_quota;          ///< Applied where no override.
+    int max_active = 0;                     ///< Concurrent-tenant ceiling.
+    std::uint64_t stream_bytes_cap = 0;     ///< Pinned stream-byte ceiling.
+    double max_admission_delay = 0.0;       ///< Queue-then-reject horizon.
+    bool fair_share = true;  ///< Deficit-style per-tenant board scheduling.
+  } tenants;
 };
 
 /// One-stop profiling session. Not reusable: build, add, run once.

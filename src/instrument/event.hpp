@@ -87,11 +87,19 @@ struct PackHeader {
   std::uint64_t seq = 0;       ///< Per-producer pack sequence number.
   std::uint32_t mode = 0;          ///< PackMode at flush time.
   std::uint32_t sample_stride = 1; ///< 1-in-N stride when mode == Sampled.
+  /// Producer's virtual clock at flush. Together with the events' own
+  /// t_begin stamps this gives the analyzer a deterministic event-to-flush
+  /// latency sample per pack (the tenant-isolation metric), and feeds the
+  /// per-tenant shedding token bucket without consulting any reader clock.
+  double t_flush = 0.0;
+  /// Fabric admit time of the producing tenant (0 outside fabric mode):
+  /// the origin of the tenant's entry-rate budget window.
+  double t_admit = 0.0;
 
-  static constexpr std::uint32_t kMagic = 0x45535031;  // "ESP1"
+  static constexpr std::uint32_t kMagic = 0x45535032;  // "ESP2"
 };
 static_assert(std::is_trivially_copyable_v<PackHeader>);
-static_assert(sizeof(PackHeader) == 32);
+static_assert(sizeof(PackHeader) == 48);
 
 /// How many events fit in one block of `block_size` bytes.
 constexpr std::uint32_t pack_capacity(std::uint64_t block_size) noexcept {

@@ -69,6 +69,11 @@ struct OnlineInstrument::RankState {
   std::uint64_t sampled_out = 0;
   std::uint64_t aggregated_calls = 0;
 
+  // Tenant fabric: admit stamp + entry-rate budget for this rank.
+  double t_admit = 0.0;
+  double window_t0 = 0.0;  ///< Clock at the last window boundary.
+  double rate_quota = 0.0; ///< Events/virtual second; 0 = unbudgeted.
+
   /// Per-kind accumulator for the Aggregated rung; materialized into
   /// synthetic weighted events at each flush.
   struct AggCell {
@@ -108,6 +113,9 @@ void OnlineInstrument::on_init(mpi::RankContext& rc) {
   scfg.resend_window = cfg_.resend_window;
   auto st = std::make_unique<RankState>(scfg);
   st->capacity = pack_capacity(cfg_.block_size);
+  if (const auto it = cfg_.tenant_rate.find(rc.partition_id);
+      it != cfg_.tenant_rate.end())
+    st->rate_quota = it->second;
   if (cfg_.degrade_force_mode >= 0) {
     st->mode = static_cast<PackMode>(cfg_.degrade_force_mode);
     if (st->mode == PackMode::Sampled)
@@ -213,8 +221,10 @@ void OnlineInstrument::flush(mpi::RankContext& rc, RankState& st) {
     st.agg.clear();
   }
   if (st.count > 0) write_pack(rc, st);
+  const std::uint64_t window_calls = st.window_calls;
   st.window_calls = 0;
-  ladder_update(st);
+  ladder_update(rc, st, window_calls);
+  st.window_t0 = rc.clock;
 }
 
 void OnlineInstrument::write_pack(mpi::RankContext& rc, RankState& st) {
@@ -227,6 +237,8 @@ void OnlineInstrument::write_pack(mpi::RankContext& rc, RankState& st) {
   h.seq = st.seq++;
   h.mode = static_cast<std::uint32_t>(st.mode);
   h.sample_stride = st.mode == PackMode::Sampled ? st.stride : 1;
+  h.t_flush = rc.clock;
+  h.t_admit = st.t_admit;
   std::memcpy(st.pack.data(), &h, sizeof h);
   // Full packs ship as whole blocks; the finalize tail ships only its
   // used bytes (a real tool does not pad its last buffer to 1 MB).
@@ -250,16 +262,29 @@ void OnlineInstrument::write_pack(mpi::RankContext& rc, RankState& st) {
   }
 }
 
-void OnlineInstrument::ladder_update(RankState& st) {
+void OnlineInstrument::ladder_update(mpi::RankContext& rc, RankState& st,
+                                     std::uint64_t window_calls) {
   if (!cfg_.degrade || cfg_.degrade_force_mode >= 0) return;
   // Pressure signal: backpressure waits accumulated during the window
   // that just flushed — virtual-time stalls of this rank's stream writer
   // (see Stream::acquire_out_buf), so the ladder replays identically
-  // run-to-run.
+  // run-to-run. Budgeted (tenant-fabric) ranks use their own entry rate
+  // instead: a tenant over its budget steps down even while the stream
+  // still keeps up, and a tenant under budget never degrades just
+  // because a noisy neighbour congested the analyzer.
   const std::uint64_t bp = st.stream.stats().backpressure_waits;
   const std::uint64_t delta = bp - st.last_bp_waits;
   st.last_bp_waits = bp;
-  if (delta >= cfg_.degrade_down_threshold) {
+  bool pressured;
+  if (st.rate_quota > 0.0) {
+    const double dt = rc.clock - st.window_t0;
+    pressured = window_calls > 0 &&
+                (dt <= 0.0 ||
+                 static_cast<double>(window_calls) > st.rate_quota * dt);
+  } else {
+    pressured = delta >= cfg_.degrade_down_threshold;
+  }
+  if (pressured) {
     st.clear_windows = 0;
     if (st.mode == PackMode::Full) {
       st.mode = PackMode::Sampled;
@@ -310,6 +335,12 @@ void OnlineInstrument::on_finalize(mpi::RankContext& rc) {
   total_aggregated_.fetch_add(st.aggregated_calls);
   g_rank_state = nullptr;
   g_rank_tool = nullptr;
+}
+
+void OnlineInstrument::note_admit(mpi::RankContext& rc, double t_admit) {
+  auto& st = state(rc);
+  st.t_admit = t_admit;
+  st.window_t0 = std::max(st.window_t0, t_admit);
 }
 
 void OnlineInstrument::record_posix(EventKind kind, std::uint64_t bytes,

@@ -14,6 +14,7 @@
 ///    correlation of the paper's Fig. 15 comes from.
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -56,6 +57,14 @@ struct InstrumentConfig {
   int degrade_up_windows = 2;
   /// Pin the ladder to a rung (PackMode value 0/1/2); -1 = adaptive.
   int degrade_force_mode = -1;
+
+  // ---- tenant fabric: per-tenant entry-rate budgets ----
+  /// Events-per-virtual-second budget per partition id. A rank whose
+  /// flush-window rate exceeds its partition's budget steps the ladder
+  /// down even without backpressure, and the backpressure trigger is
+  /// ignored for budgeted partitions — so a flooding tenant degrades
+  /// alone while its well-behaved neighbours keep full fidelity.
+  std::map<int, double> tenant_rate;
 };
 
 /// Aggregate counters across all instrumented ranks (read after run()).
@@ -84,6 +93,11 @@ class OnlineInstrument : public mpi::Tool {
   static void record_posix(EventKind kind, std::uint64_t bytes,
                            double duration);
 
+  /// Fabric hook: the calling rank's tenant was admitted at `t_admit`.
+  /// Stamped into every subsequent pack header and used as the origin of
+  /// the rank's entry-rate budget window.
+  void note_admit(mpi::RankContext& rc, double t_admit);
+
   InstrumentTotals totals() const;
   const InstrumentConfig& config() const noexcept { return cfg_; }
 
@@ -97,7 +111,9 @@ class OnlineInstrument : public mpi::Tool {
   /// Stamp the header and ship the staged pack (flush's write half).
   void write_pack(mpi::RankContext& rc, RankState& st);
   /// Re-evaluate the ladder after a flush (window boundary).
-  void ladder_update(RankState& st);
+  /// `window_calls` is the call count of the window that just flushed.
+  void ladder_update(mpi::RankContext& rc, RankState& st,
+                     std::uint64_t window_calls);
 
   mpi::Runtime& rt_;
   InstrumentConfig cfg_;

@@ -254,6 +254,31 @@ class Mailbox {
     return false;
   }
 
+  /// Cancel every posted receive matching (ctx, src_world, tag): the
+  /// items are removed from the queue and their requests completed with
+  /// kErrPeerDead at each item's own t_ready, which also drops the
+  /// keepalive buffer refs. Used by a long-lived stream reader to release
+  /// the slot buffers of a departed writer; the caller must first verify
+  /// (via probe) that no queued send could still match, or that send
+  /// would be orphaned. Returns the number of receives cancelled.
+  int cancel_recvs(std::uint64_t ctx, int src_world, int tag) {
+    std::vector<std::shared_ptr<RecvItem>> cancelled;
+    {
+      std::lock_guard lock(mu_);
+      for (auto it = recvs_.begin(); it != recvs_.end();) {
+        if ((*it)->ctx == ctx && (*it)->src_world == src_world &&
+            (*it)->tag == tag) {
+          cancelled.push_back(*it);
+          it = recvs_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& r : cancelled) fail_recv(*r, r->t_ready);
+    return static_cast<int>(cancelled.size());
+  }
+
   std::size_t pending_sends() {
     std::lock_guard lock(mu_);
     return sends_.size();

@@ -223,6 +223,13 @@ class Runtime {
   double max_progress() const noexcept {
     return max_progress_.load(std::memory_order_relaxed);
   }
+  /// Last published progress clock of one rank (relaxed; advisory). The
+  /// tenant-fabric admission root uses it as a release *lower bound*: a
+  /// rank observed past time t has provably not released before t.
+  double progress_clock(int world_rank) const noexcept {
+    return progress_[static_cast<std::size_t>(world_rank)].clock.load(
+        std::memory_order_relaxed);
+  }
   /// Crash sweep: record the death and release every operation that would
   /// otherwise wait on the dead rank forever.
   void on_rank_crashed(const RankContext& rc, std::uint64_t calls);

@@ -123,6 +123,35 @@ void Stream::disarm_receives() {
       if (slot.req) slot.req->disarm_waitset(&waitset_);
 }
 
+std::uint64_t Stream::reclaim_closed_slots() {
+  if (writer_ || !open_) return 0;
+  auto& rc = mpi::Runtime::self();
+  std::uint64_t freed = 0;
+  for (auto& ip : in_peers_) {
+    if (!(ip.closed || ip.dead) || ip.slots.empty()) continue;
+    // A queued send on the link (a straggler block no posted receive has
+    // matched yet) would be orphaned by the cancel; leave this peer for a
+    // later sweep.
+    if (rt_->mailbox(rc.world_rank)
+            .probe(universe_.context(), ip.universe_rank, ip.tag, nullptr,
+                   nullptr, nullptr))
+      continue;
+    for (auto& s : ip.slots) {
+      if (s.req) s.req->disarm_waitset(&waitset_);
+      if (s.data) freed += s.data->size();
+    }
+    // Completing the posted receives drops the mailbox's keepalive refs;
+    // clearing the slots drops ours. Per-link counters stay for the loss
+    // ledger (the InPeer itself survives, just slotless).
+    rt_->mailbox(rc.world_rank)
+        .cancel_recvs(universe_.context(), ip.universe_rank, ip.tag);
+    ip.slots.clear();
+    ip.slots.shrink_to_fit();
+    ip.head = 0;
+  }
+  return freed;
+}
+
 std::uint64_t Stream::frame_bytes() const noexcept {
   return framed_ ? sizeof(BlockHeader) : 0;
 }
@@ -387,50 +416,75 @@ void Stream::fail_over_endpoint(std::size_t ti, double t_dead) {
   ++failovers_;
   const double t0 = rc.clock;
 
-  // Survivors of the dead reader's partition, excluding ranks this writer
-  // already declared dead, ranks past their own lease, and current
-  // endpoints — sharing a target would collide two sequence spaces on a
-  // single (source, tag) link.
-  const auto& part = rt_->partition_of_world(dead);
-  std::vector<int> cands;
-  for (int r = part.first_world_rank; r < part.first_world_rank + part.size;
-       ++r) {
-    if (r == dead || r == rc.world_rank) continue;
-    if (std::find(lease_dead_.begin(), lease_dead_.end(), r) !=
-        lease_dead_.end())
-      continue;
-    if (std::find(peers_.begin(), peers_.end(), r) != peers_.end()) continue;
-    if (rc.clock >= peer_death_time(r) + cfg_.hb_lease) continue;
-    cands.push_back(r);
-  }
-  const int target = Map::failover_target(
-      cfg_.remap_policy, rt_->config().seed, rc.world_rank, dead, cands);
   if (obs::enabled()) {
     sobs().failovers.add(1);
     sobs().hb_missed.add(missed);
   }
-  if (target < 0) {
-    // Total partition loss: the endpoint becomes a dead end; further
-    // writes to it are counted failed.
-    peers_[ti] = -1;
-    return;
+  // The chosen survivor can itself be dead — already (a cascading crash
+  // this writer has not charged a lease against yet) or by dying while
+  // the handshake is in flight. Either way the re-route must chain to
+  // the next survivor instead of wedging this endpoint on a corpse; each
+  // extra hop is charged like an ordinary failover (the dead target's
+  // missed beacon and the detection gap go to the loss accounting).
+  for (;;) {
+    // Survivors of the dead reader's partition, excluding ranks this
+    // writer already declared dead, ranks the oracle says are dead at
+    // this virtual instant, ranks past their own lease, and current
+    // endpoints — sharing a target would collide two sequence spaces on
+    // a single (source, tag) link.
+    const auto& part = rt_->partition_of_world(dead);
+    std::vector<int> cands;
+    for (int r = part.first_world_rank; r < part.first_world_rank + part.size;
+         ++r) {
+      if (r == dead || r == rc.world_rank) continue;
+      if (std::find(lease_dead_.begin(), lease_dead_.end(), r) !=
+          lease_dead_.end())
+        continue;
+      if (std::find(peers_.begin(), peers_.end(), r) != peers_.end()) continue;
+      if (peer_death_time(r) <= rc.clock) continue;  // already dead now
+      if (rc.clock >= peer_death_time(r) + cfg_.hb_lease) continue;
+      cands.push_back(r);
+    }
+    const int target = Map::failover_target(
+        cfg_.remap_policy, rt_->config().seed, rc.world_rank, dead, cands);
+    if (target < 0) {
+      // Total partition loss: the endpoint becomes a dead end; further
+      // writes to it are counted failed.
+      peers_[ti] = -1;
+      return;
+    }
+    FailoverCtl fc;
+    fc.ctl = StreamCtl{data_tag_, cfg_.block_size, cfg_.n_async};
+    fc.resume_seq = out_seq_[ti];
+    fc.replayed = resend_[ti].size();
+    universe_.psend(&fc, sizeof fc, target, kStreamFailoverTag);
+    // Replay the unacknowledged tail. Original sequence numbers are baked
+    // into the frames, so the new link's gap accounting charges exactly
+    // the unreplayable prefix as lost — replayed blocks can never be
+    // counted lost, and (the dead reader's partial analysis dying with
+    // it) never analysed twice either.
+    for (const auto& blk : resend_[ti]) {
+      universe_.psend(blk->data(), blk->size(), target, data_tag_);
+      ++resent_blocks_;
+      if (obs::enabled()) sobs().resent.add(1);
+    }
+    // after_calls crashes have no oracle, so the target may only now be
+    // observably dead; the handshake and replay above went to a corpse.
+    // Chain: declare it, charge the hop, pick the next survivor (which
+    // re-replays the same ring — the dead target analysed nothing).
+    if (rt_->rank_dead(target) && rt_->death_time(target) <= rc.clock) {
+      lease_dead_.push_back(target);
+      ++failovers_;
+      ++heartbeats_missed_;
+      if (obs::enabled()) {
+        sobs().failovers.add(1);
+        sobs().hb_missed.add(1);
+      }
+      continue;
+    }
+    peers_[ti] = target;
+    break;
   }
-  FailoverCtl fc;
-  fc.ctl = StreamCtl{data_tag_, cfg_.block_size, cfg_.n_async};
-  fc.resume_seq = out_seq_[ti];
-  fc.replayed = resend_[ti].size();
-  universe_.psend(&fc, sizeof fc, target, kStreamFailoverTag);
-  // Replay the unacknowledged tail. Original sequence numbers are baked
-  // into the frames, so the new link's gap accounting charges exactly the
-  // unreplayable prefix as lost — replayed blocks can never be counted
-  // lost, and (the dead reader's partial analysis dying with it) never
-  // analysed twice either.
-  for (const auto& blk : resend_[ti]) {
-    universe_.psend(blk->data(), blk->size(), target, data_tag_);
-    ++resent_blocks_;
-    if (obs::enabled()) sobs().resent.add(1);
-  }
-  peers_[ti] = target;
   if (obs::enabled())
     obs::trace_span("stream", "stream.failover", t0, rc.clock,
                     static_cast<std::uint64_t>(resend_[ti].size()), "blocks");

@@ -195,6 +195,15 @@ class Stream {
   /// Per-incoming-link health (read endpoint; empty on writers).
   std::vector<StreamPeerStats> peer_stats() const;
 
+  /// Reader: release the posted receive buffers of links whose writer has
+  /// closed cleanly or died — the long-lived fabric reader would otherwise
+  /// pin n_async blocks per departed tenant forever. Cancels the still-
+  /// posted receives (their buffers are also held by the mailbox as
+  /// keepalives) and frees the slots; a link with an undrained queued send
+  /// is skipped until the next call. Per-link accounting (StreamPeerStats)
+  /// survives. Returns payload bytes released. No-op on writers.
+  std::uint64_t reclaim_closed_slots();
+
  private:
   struct OutBuf {
     BufferRef data;

@@ -181,6 +181,39 @@ TEST(Failover, ResendWindowOverflowIsLossNeverDuplication) {
   EXPECT_LE(r->total_events, session.instrument_totals().events);
 }
 
+TEST(Failover, CascadingAnalyzerDeathsChainToTheLastSurvivor) {
+  // Two of three analyzer ranks die in quick succession: writers that
+  // fail over to analyzer rank 1 find (or soon find) it dead too and must
+  // chain the re-route to rank 2 instead of wedging on a corpse. With a
+  // generous resend window every surviving link replays cleanly.
+  const std::string dir = testing::TempDir() + "esp_failover_cascade";
+  SessionConfig cfg = failover_config();
+  cfg.analyzer_ratio = 4;  // 12 app procs -> 3 analyzer ranks
+  cfg.instrument.resend_window = 64;
+  cfg.output_dir = dir;
+  cfg.faults.crashes.push_back({.at_time = 1e-3, .analyzer_rank = true});
+  cfg.faults.crashes.back().world_rank = 0;
+  cfg.faults.crashes.push_back({.at_time = 1.5e-3, .analyzer_rank = true});
+  cfg.faults.crashes.back().world_rank = 1;
+  Session session(cfg);
+  const int app = session.add_application("ring", 12, ring(600));
+  auto results = session.run();  // must complete on the last survivor
+
+  std::vector<int> dead = results->health.dead_analyzer_ranks;
+  std::sort(dead.begin(), dead.end());
+  EXPECT_EQ(dead, (std::vector<int>{0, 1}));
+  const an::AppResults* r = results->find(app);
+  ASSERT_NE(r, nullptr);
+  EXPECT_GT(r->telemetry.failover_joins, 0u);
+  EXPECT_GT(r->total_events, 0u);
+  // The last survivor re-rooted the reduction and wrote the report.
+  const std::string report = slurp(dir + "/report.md");
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report.find("Session health"), std::string::npos);
+  // Nothing analysed twice, whatever path the chained re-route took.
+  EXPECT_LE(r->total_events, session.instrument_totals().events);
+}
+
 TEST(Failover, NoCrashMeansNoFailover) {
   SessionConfig cfg = failover_config();
   Session session(cfg);

@@ -71,13 +71,35 @@ ESP_DEGRADE_BENCH_JSON="${ESP_DEGRADE_BENCH_JSON:-$repo/BENCH_degrade.json}" \
 ESP_DEGRADE_BASELINE="${ESP_DEGRADE_BASELINE:-$repo/bench/BENCH_degrade.baseline.json}" \
   "$repo/build/bench/ablation_degrade"
 
+echo "=== tenancy isolation sweep + regression gate ==="
+# Noisy-neighbour ablation of the tenant fabric: a quota'd flood must
+# leave the victim's p99 within ESP_TENANCY_MAX_P99X (default 1.05) of
+# the no-noise run, the unquota'd flood must demonstrably hurt, and the
+# committed baseline gates with saturation-sized tolerances. Regenerate
+# bench/BENCH_tenancy.baseline.json in the same commit whenever the
+# measurement model intentionally changes.
+ESP_TENANCY_BENCH_JSON="${ESP_TENANCY_BENCH_JSON:-$repo/BENCH_tenancy.json}" \
+ESP_TENANCY_BASELINE="${ESP_TENANCY_BASELINE:-$repo/bench/BENCH_tenancy.baseline.json}" \
+  "$repo/build/bench/ablation_tenancy"
+
 echo "=== chaos soak (ASan) ==="
 # Randomized seeded fault campaigns against full sessions, each seed run
 # twice and required to reproduce bit-identical reports; the sanitizer
 # build also catches crash-unwind memory errors. ESP_SOAK_SEED rotates
 # the campaign (defaults to the fixed seed baked into the harness);
-# ESP_SOAK_RUNS sizes it.
+# ESP_SOAK_RUNS sizes it. On failure the soak prints a copy-pasteable
+# repro line and writes soak_failures.txt in the working directory.
 ESP_SOAK_SEED="${ESP_SOAK_SEED:-}" \
   "$repo/build-sanitize/tools/soak" --runs "${ESP_SOAK_RUNS:-25}" --seed-from-env
+
+echo "=== multi-tenant chaos soak (ASan) ==="
+# Overlapping-tenant campaigns through the fabric: admission, quotas,
+# shedding, tenant crashes — every campaign run twice and required to be
+# bit-identical. Short by design for the PR gate; the nightly CI job
+# scales this to 100+ tenants.
+ESP_SOAK_SEED="${ESP_SOAK_SEED:-}" \
+  "$repo/build-sanitize/tools/soak" \
+  --tenants "${ESP_SOAK_TENANTS:-12}" \
+  --runs "${ESP_SOAK_TENANT_RUNS:-4}" --seed-from-env
 
 echo "=== all checks passed ==="

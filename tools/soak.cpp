@@ -39,17 +39,45 @@
 #include "core/session.hpp"
 #include "net/fault.hpp"
 
+extern "C" char** environ;
+
 namespace {
 
 int g_failures = 0;
+/// Extra flags of the current campaign, reproduced verbatim in the repro
+/// line ("--tenants 100 --iters 120 ...").
+std::string g_repro_flags;
+
+/// One copy-pasteable command that reruns exactly the failing scenario:
+/// every ESP_* variable of the current environment (they override session
+/// knobs at Session construction) plus the seed pinned to a single run.
+std::string repro_line(std::uint64_t seed) {
+  std::string line;
+  for (char** e = environ; e && *e; ++e) {
+    if (std::strncmp(*e, "ESP_", 4) == 0) {
+      line += *e;
+      line += ' ';
+    }
+  }
+  line += "soak --seed " + std::to_string(seed) + " --runs 1" + g_repro_flags;
+  return line;
+}
+
+/// Print the violation and the repro line, and append the latter to
+/// soak_failures.txt so CI can upload failing seeds as an artifact.
+void record_failure(std::uint64_t seed, const char* msg, const char* expr) {
+  std::fprintf(stderr, "soak: FAIL seed=%llu: %s (%s)\n",
+               static_cast<unsigned long long>(seed), msg, expr);
+  const std::string line = repro_line(seed);
+  std::fprintf(stderr, "soak: repro: %s\n", line.c_str());
+  std::ofstream out("soak_failures.txt", std::ios::app);
+  out << line << "  # " << msg << "\n";
+  ++g_failures;
+}
 
 #define SOAK_CHECK(cond, seed, msg)                                       \
   do {                                                                    \
-    if (!(cond)) {                                                        \
-      std::fprintf(stderr, "soak: FAIL seed=%llu: %s (%s)\n",             \
-                   static_cast<unsigned long long>(seed), msg, #cond);    \
-      ++g_failures;                                                       \
-    }                                                                     \
+    if (!(cond)) record_failure(seed, msg, #cond);                        \
   } while (0)
 
 std::string slurp(const std::string& path) {
@@ -222,6 +250,147 @@ void check_determinism(const RunOutcome& a, const RunOutcome& b,
              "same seed produced different report bytes");
 }
 
+// ---------------------------------------------------------------------------
+// Multi-tenant campaign mode (--tenants N): many overlapping sessions on a
+// seeded Poisson schedule against one long-lived analyzer fabric, with
+// per-tenant quotas, saturation, and tenant-rank crashes in the mix. The
+// analyzer partition itself never crashes here (the failover campaigns
+// above own that axis), so the admission root's identity is stable and the
+// per-tenant books must replay bit for bit.
+// ---------------------------------------------------------------------------
+
+/// Everything one tenant's chapter asserts on, comparable across replays.
+struct TenantOutcome {
+  bool admitted = false, rejected = false, by_death = false;
+  double t_admit = 0.0, t_release = 0.0;
+  std::uint64_t events = 0, packs_shed = 0, events_shed = 0;
+  std::uint64_t jobs_executed = 0, latency_count = 0;
+  bool operator==(const TenantOutcome&) const = default;
+};
+
+struct TenantRun {
+  bool completed = false;
+  std::uint64_t admitted = 0, rejected = 0, shed = 0;
+  std::vector<int> dead_world;
+  std::vector<TenantOutcome> tenants;
+  std::vector<bool> strict;  ///< Which tenants carried a strict quota.
+  std::string report;
+};
+
+TenantRun run_tenant_campaign(std::uint64_t seed, int ntenants, int iters,
+                              const std::string& out_dir) {
+  esp::Rng rng(seed * 0x9e3779b97f4a7c15ull + 7);
+  esp::SessionConfig cfg;
+  cfg.runtime.seed = seed;
+  cfg.runtime.watchdog_virtual_deadline = 60.0;
+  cfg.analyzer_ratio = 8;
+  cfg.instrument.block_size = 16384;
+  cfg.instrument.n_async = 2;  // bound pinned bytes at 100+-tenant scale
+  cfg.tenants.enabled = true;
+  cfg.tenants.mean_arrival_gap = rng.uniform(1e-4, 4e-4);
+  if (rng.below(2) == 0) {
+    // Half the seeds run saturated: admissions queue behind releases, and
+    // sometimes a deadline converts the queueing into rejections.
+    cfg.tenants.max_active = std::max(2, ntenants / 2);
+    if (rng.below(2) == 0)
+      cfg.tenants.max_admission_delay = rng.uniform(1e-3, 1e-2);
+  }
+  TenantRun o;
+  o.strict.assign(static_cast<std::size_t>(ntenants), false);
+  for (int t = 0; t < ntenants; ++t) {
+    if (rng.below(8) == 0) {
+      // ~1/8 of the tenants get a budget even the degradation ladder's
+      // floor cannot fit: the fabric must shed them and charge only their
+      // own ledgers. (Milder overruns are the ladder's job, not shedding's
+      // — the writer samples/aggregates itself back under budget.)
+      esp::an::TenantQuota q;
+      q.entry_rate = rng.uniform(1.0, 100.0);
+      q.burst_events = 32.0;
+      cfg.tenants.quota[t] = q;
+      o.strict[static_cast<std::size_t>(t)] = true;
+    }
+  }
+  const int nprocs = 2;
+  const int crashes = static_cast<int>(rng.below(4));  // 0..3 tenant deaths
+  for (int c = 0; c < crashes; ++c) {
+    esp::net::FaultPlan::RankCrash rc;
+    rc.world_rank = static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(ntenants * nprocs)));
+    rc.at_time = rng.uniform(5e-4, 2e-2);
+    cfg.faults.crashes.push_back(rc);
+  }
+  cfg.output_dir = out_dir;
+  esp::Session session(cfg);
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(ntenants));
+  for (int t = 0; t < ntenants; ++t)
+    ids.push_back(session.add_application("tn" + std::to_string(t), nprocs,
+                                          ring(iters + 10 * (t % 7))));
+  auto results = session.run();
+
+  o.completed = true;
+  o.admitted = results->health.tenants_admitted;
+  o.rejected = results->health.tenants_rejected;
+  o.shed = results->health.tenant_packs_shed;
+  o.dead_world = results->health.dead_world_ranks;
+  for (int app : ids) {
+    TenantOutcome t;
+    if (const esp::an::AppResults* r = results->find(app)) {
+      t.admitted = r->tenant.admitted;
+      t.rejected = r->tenant.rejected;
+      t.by_death = r->tenant.released_by_death;
+      t.t_admit = r->tenant.t_admit;
+      t.t_release = r->tenant.t_release;
+      t.events = r->total_events;
+      t.packs_shed = r->tenant.packs_shed;
+      t.events_shed = r->tenant.events_shed;
+      t.jobs_executed = r->tenant.jobs_executed;
+      t.latency_count = r->tenant.latency.count;
+    }
+    o.tenants.push_back(t);
+  }
+  o.report = slurp(out_dir + "/report.md");
+  return o;
+}
+
+void check_tenant_invariants(const TenantRun& o, std::uint64_t seed) {
+  SOAK_CHECK(o.completed, seed, "tenant campaign did not complete");
+  SOAK_CHECK(!o.report.empty(), seed, "report.md missing or empty");
+  SOAK_CHECK(o.report.find("Tenant fabric") != std::string::npos, seed,
+             "report lacks the tenant-fabric roll-up");
+  SOAK_CHECK(o.admitted > 0, seed, "fabric admitted no tenant at all");
+  for (std::size_t t = 0; t < o.tenants.size(); ++t) {
+    const TenantOutcome& tn = o.tenants[t];
+    // Every tenant's admission was decided one way or the other — no
+    // verdict may be silently dropped, crashes included.
+    SOAK_CHECK(tn.admitted || tn.rejected, seed,
+               "a tenant's admission was never decided");
+    if (tn.admitted) {
+      SOAK_CHECK(tn.t_release >= tn.t_admit, seed,
+                 "an admitted tenant released before its admission");
+    }
+    if (!o.strict[t]) {
+      // Shedding is containment, not collateral: unlimited-quota tenants
+      // never see their packs shed, whatever the neighbours do.
+      SOAK_CHECK(tn.packs_shed == 0 && tn.events_shed == 0, seed,
+                 "quota shedding charged to an unlimited tenant");
+    }
+  }
+}
+
+void check_tenant_determinism(const TenantRun& a, const TenantRun& b,
+                              std::uint64_t seed) {
+  SOAK_CHECK(a.dead_world == b.dead_world, seed,
+             "tenant death schedule differs between same-seed runs");
+  SOAK_CHECK(a.admitted == b.admitted && a.rejected == b.rejected, seed,
+             "admission counts differ between same-seed runs");
+  SOAK_CHECK(a.shed == b.shed, seed, "shed totals differ");
+  SOAK_CHECK(a.tenants == b.tenants, seed,
+             "per-tenant books differ between same-seed runs");
+  SOAK_CHECK(a.report == b.report, seed,
+             "same seed produced different report bytes");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -229,6 +398,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   int app_ranks = 8;
   int iters = 500;
+  int tenants = 0;  // > 0: multi-tenant campaign mode
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -250,14 +420,27 @@ int main(int argc, char** argv) {
       app_ranks = std::atoi(next());
     } else if (arg == "--iters") {
       iters = std::atoi(next());
+    } else if (arg == "--tenants") {
+      tenants = std::atoi(next());
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: soak [--runs N] [--seed S | --seed-from-env] "
-                   "[--ranks N] [--iters N] [-v]\n");
+                   "[--ranks N] [--iters N] [--tenants N] [-v]\n");
       return 2;
     }
+  }
+  if (tenants > 0) {
+    // The fault campaign defaults are sized for one 8-rank app; tenant
+    // campaigns run many small apps, so shorten each workload unless the
+    // caller pinned --iters explicitly.
+    if (iters == 500) iters = 120;
+    g_repro_flags = " --tenants " + std::to_string(tenants) + " --iters " +
+                    std::to_string(iters);
+  } else {
+    g_repro_flags = " --ranks " + std::to_string(app_ranks) + " --iters " +
+                    std::to_string(iters);
   }
 
   namespace fs = std::filesystem;
@@ -266,6 +449,51 @@ int main(int argc, char** argv) {
       ("esp_soak_" + std::to_string(static_cast<unsigned long long>(seed)));
   std::error_code ec;
   fs::remove_all(base, ec);
+
+  if (tenants > 0) {
+    std::uint64_t campaign_shed = 0, campaign_rejected = 0,
+                  campaign_deaths = 0;
+    for (int r = 0; r < runs && g_failures == 0; ++r) {
+      const std::uint64_t s = seed + static_cast<std::uint64_t>(r);
+      const std::string da = (base / (std::to_string(s) + "_a")).string();
+      const std::string db = (base / (std::to_string(s) + "_b")).string();
+      const TenantRun a = run_tenant_campaign(s, tenants, iters, da);
+      check_tenant_invariants(a, s);
+      const TenantRun b = run_tenant_campaign(s, tenants, iters, db);
+      check_tenant_determinism(a, b, s);
+      campaign_shed += a.shed;
+      campaign_rejected += a.rejected;
+      campaign_deaths += a.dead_world.size();
+      if (verbose)
+        std::printf(
+            "soak: seed=%llu tenants=%d admitted=%llu rejected=%llu "
+            "shed=%llu dead=%zu\n",
+            static_cast<unsigned long long>(s), tenants,
+            static_cast<unsigned long long>(a.admitted),
+            static_cast<unsigned long long>(a.rejected),
+            static_cast<unsigned long long>(a.shed), a.dead_world.size());
+    }
+    // Non-vacuity: a campaign of this size must actually exercise the
+    // quota machinery it claims to soak.
+    if (g_failures == 0 && runs * tenants >= 64) {
+      SOAK_CHECK(campaign_shed > 0, seed,
+                 "tenant campaign never shed a flooding tenant");
+      SOAK_CHECK(campaign_deaths > 0, seed,
+                 "tenant campaign never killed a tenant rank");
+    }
+    fs::remove_all(base, ec);
+    if (g_failures > 0) {
+      std::fprintf(stderr, "soak: %d invariant violation(s)\n", g_failures);
+      return 1;
+    }
+    std::printf(
+        "soak: %d tenant campaigns x 2 runs clean "
+        "(shed=%llu, rejected=%llu, deaths=%llu)\n",
+        runs, static_cast<unsigned long long>(campaign_shed),
+        static_cast<unsigned long long>(campaign_rejected),
+        static_cast<unsigned long long>(campaign_deaths));
+    return 0;
+  }
 
   std::uint64_t campaign_joins = 0;
   std::uint64_t campaign_deaths = 0;
