@@ -1,0 +1,314 @@
+/// \file ablation_hotpath.cpp
+/// \brief Steady-state event-path ablation: proves the analyzer hot path
+/// is allocation-free once warm, and measures its event throughput.
+///
+/// The measured region is the full analysis chain on a live blackboard —
+/// pooled block acquire, pack submit, dispatcher, zero-copy unpacker,
+/// MPI/topology/density profiling — the same path a stream reader drives
+/// in production. Two phases run in one process: pools on (the default
+/// path) and pools off (ESP_POOL=0 semantics), toggled via
+/// mem::set_pools_enabled with a fresh board per phase.
+///
+/// The allocation count comes from the malloc-interposition probe
+/// (src/obs/alloc_probe.cpp) linked into this binary only; the paper's
+/// premise is that online reduction pays off only while the measurement
+/// path itself is near-free, so the pooled phase is *gated*: any
+/// steady-state allocation is a regression and the bench exits non-zero
+/// (ESP_HOTPATH_GATE=warn downgrades it while debugging).
+///
+/// A worker that sleeps through warmup would lazily build its thread-local
+/// scratch inside the measured region and show up as a one-off allocation
+/// burst; the bench therefore measures up to ESP_HOTPATH_ROUNDS rounds and
+/// gates on the last one, reporting how many rounds it took to go quiet.
+///
+///   ESP_HOTPATH_BENCH_JSON=out.json  write one JSON record per phase
+///       (schema shared with the other ablation benches; events_per_sec
+///       regressions are gated externally by tools/bench_gate.py against
+///       bench/BENCH_hotpath.baseline.json);
+///   ESP_HOTPATH_PACKS     packs per measured round        (default 512)
+///   ESP_HOTPATH_WARMUP    warmup packs before measuring   (default 128)
+///   ESP_HOTPATH_WORKERS   blackboard workers              (default 4)
+///   ESP_HOTPATH_BURST     packs in flight between drains  (default 16)
+///   ESP_HOTPATH_BLOCK     pack/block size in bytes        (default 1 MiB)
+///   ESP_HOTPATH_ROUNDS    max measured rounds per phase   (default 5)
+///   ESP_HOTPATH_GATE      fail (default) | warn
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/modules.hpp"
+#include "blackboard/blackboard.hpp"
+#include "common/env.hpp"
+#include "core/pool.hpp"
+#include "instrument/event.hpp"
+#include "obs/alloc_probe.hpp"
+
+namespace {
+
+using namespace esp;
+using inst::Event;
+using inst::EventKind;
+using inst::PackHeader;
+
+struct Knobs {
+  int packs = 512;
+  int warmup = 128;
+  int workers = 4;
+  int burst = 16;
+  std::size_t block = 1u << 20;
+  int rounds = 5;
+};
+
+Knobs knobs() {
+  Knobs k;
+  k.packs = static_cast<int>(env_int("ESP_HOTPATH_PACKS", k.packs));
+  k.warmup = static_cast<int>(env_int("ESP_HOTPATH_WARMUP", k.warmup));
+  k.workers = static_cast<int>(env_int("ESP_HOTPATH_WORKERS", k.workers));
+  k.burst = static_cast<int>(env_int("ESP_HOTPATH_BURST", k.burst));
+  k.block = static_cast<std::size_t>(
+      env_int("ESP_HOTPATH_BLOCK", static_cast<std::int64_t>(k.block)));
+  k.rounds = static_cast<int>(env_int("ESP_HOTPATH_ROUNDS", k.rounds));
+  return k;
+}
+
+/// One template pack: a long MPI run (ping-pong over 8 ranks with fixed
+/// peers, so the topology map's key set is finite and warms up) followed
+/// by a short POSIX run — two runs, the zero-copy unpacker's common shape.
+std::vector<std::byte> make_template_pack(std::size_t block_size) {
+  const std::uint32_t cap = inst::pack_capacity(block_size);
+  std::vector<std::byte> tmpl(block_size);
+  PackHeader h;
+  h.app_id = 0;
+  h.app_rank = 0;
+  h.event_count = cap;
+  h.seq = 0;
+  h.t_flush = 1.0;
+  std::memcpy(tmpl.data(), &h, sizeof h);
+  auto* events =
+      reinterpret_cast<Event*>(tmpl.data() + sizeof(PackHeader));
+  const std::uint32_t n_posix = cap / 10;
+  const std::uint32_t n_mpi = cap - n_posix;
+  for (std::uint32_t i = 0; i < cap; ++i) {
+    Event ev;
+    ev.rank = static_cast<std::int32_t>(i % 8);
+    if (i < n_mpi) {
+      ev.kind = inst::event_kind(i % 2 == 0 ? mpi::CallKind::Send
+                                            : mpi::CallKind::Recv);
+      ev.peer = static_cast<std::int32_t>((i + 1) % 8);
+      ev.bytes = 1024;
+    } else {
+      ev.kind = EventKind::PosixWrite;
+      ev.bytes = 4096;
+    }
+    ev.t_begin = 1e-6 * i;
+    ev.t_end = ev.t_begin + 1e-6;
+    events[i] = ev;
+  }
+  return tmpl;
+}
+
+struct PhaseResult {
+  std::string mode;
+  std::uint64_t packs = 0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  std::uint64_t allocs_steady = 0;  ///< Allocations in the gated round.
+  double allocs_per_event = 0.0;
+  int rounds = 1;  ///< Measured rounds until the gated round.
+  mem::PoolStats block_pool;
+  mem::PoolStats view_pool;
+  mem::PoolStats job_pool;
+};
+
+/// Drive `n_packs` template packs through the board, draining every
+/// `burst` packs so in-flight work stays bounded (and pool working sets
+/// stay under their retain caps).
+void drive(bb::Blackboard& board, const std::vector<std::byte>& tmpl,
+           std::size_t block_size, int n_packs, int burst) {
+  const bb::TypeId t = an::pack_type();
+  bb::DataEntry entry;
+  for (int p = 0; p < n_packs; ++p) {
+    BufferRef blk = mem::acquire_block(block_size, tmpl.size());
+    std::memcpy(blk->data(), tmpl.data(), tmpl.size());
+    entry.type = t;
+    entry.payload = std::move(blk);
+    board.submit_batch({&entry, 1}, 0);
+    entry.payload.reset();
+    if ((p + 1) % burst == 0) board.drain();
+  }
+  board.drain();
+}
+
+PhaseResult run_phase(bool pools_on, const Knobs& k,
+                      const std::vector<std::byte>& tmpl) {
+  mem::set_pools_enabled(pools_on);
+
+  bb::BlackboardConfig bcfg;
+  bcfg.workers = k.workers;
+  bb::Blackboard board(bcfg);
+
+  const an::AppLevel level{0, "hot", 8};
+  an::register_dispatcher(board, {level});
+  an::register_unpacker(board, level);
+  an::MpiProfiler profiler;
+  an::TopologyModule topology;
+  an::DensityModule density;
+  profiler.register_on(board, level);
+  topology.register_on(board, level);
+  density.register_on(board, level);
+
+  if (pools_on) {
+    // Warmup traffic alone sizes the pools by adoption, but a pool that
+    // only grows on release pays one heap miss every time the in-flight
+    // count sets a new peak — which scheduling jitter can defer into the
+    // gated round. Reserving past the worst-case working set (burst packs
+    // in flight, <= kMaxViewRuns views and a handful of jobs each) makes
+    // the steady state deterministic instead of merely likely.
+    const auto burst = static_cast<std::size_t>(k.burst);
+    mem::pool_for(k.block).reserve(burst * 2 + 8);
+    mem::view_pool().reserve(burst * 18 + 32);
+    board.reserve_jobs(burst * 8 + 64);
+  }
+
+  const mem::PoolStats blocks0 = mem::pool_for(k.block).stats();
+  const mem::PoolStats views0 = mem::view_pool().stats();
+  const mem::PoolStats jobs0 = board.job_pool_stats();
+
+  drive(board, tmpl, k.block, k.warmup, k.burst);
+
+  const std::uint32_t per_pack = inst::pack_capacity(k.block);
+  PhaseResult r;
+  r.mode = pools_on ? "pool_on" : "pool_off";
+  r.packs = static_cast<std::uint64_t>(k.packs);
+  r.events = r.packs * per_pack;
+
+  // Measure rounds until the path goes allocation-quiet (a worker that
+  // slept through warmup lazily builds its scratch in round one); the
+  // last round is the one reported and gated.
+  for (int round = 1; round <= std::max(1, k.rounds); ++round) {
+    const obs::AllocCounts a0 = obs::alloc_counts();
+    const auto t0 = std::chrono::steady_clock::now();
+    drive(board, tmpl, k.block, k.packs, k.burst);
+    const auto t1 = std::chrono::steady_clock::now();
+    const obs::AllocCounts a1 = obs::alloc_counts();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    r.events_per_sec =
+        secs > 0 ? static_cast<double>(r.events) / secs : 0.0;
+    r.allocs_steady = a1.allocs - a0.allocs;
+    r.allocs_per_event =
+        static_cast<double>(r.allocs_steady) / static_cast<double>(r.events);
+    r.rounds = round;
+    if (!pools_on || r.allocs_steady == 0) break;
+  }
+
+  auto delta = [](const mem::PoolStats& now, const mem::PoolStats& was) {
+    mem::PoolStats d;
+    d.hits = now.hits - was.hits;
+    d.misses = now.misses - was.misses;
+    d.released = now.released - was.released;
+    d.trimmed = now.trimmed - was.trimmed;
+    d.retained = now.retained;
+    return d;
+  };
+  r.block_pool = delta(mem::pool_for(k.block).stats(), blocks0);
+  r.view_pool = delta(mem::view_pool().stats(), views0);
+  r.job_pool = delta(board.job_pool_stats(), jobs0);
+  board.stop();
+  return r;
+}
+
+int run(const char* json_path) {
+  const Knobs k = knobs();
+  const std::vector<std::byte> tmpl = make_template_pack(k.block);
+
+  if (!obs::alloc_probe_active()) {
+    std::fprintf(stderr, "alloc probe not linked; counters would read 0\n");
+    return 2;
+  }
+
+  std::vector<PhaseResult> results;
+  results.push_back(run_phase(true, k, tmpl));
+  results.push_back(run_phase(false, k, tmpl));
+  mem::set_pools_enabled(true);
+
+  for (const auto& r : results)
+    std::printf(
+        "%-9s packs=%-6llu events=%-9llu events/s=%.4g "
+        "allocs=%llu (%.6f/event, round %d) "
+        "pool h/m=%llu/%llu views h/m=%llu/%llu jobs h/m=%llu/%llu\n",
+        r.mode.c_str(), static_cast<unsigned long long>(r.packs),
+        static_cast<unsigned long long>(r.events), r.events_per_sec,
+        static_cast<unsigned long long>(r.allocs_steady), r.allocs_per_event,
+        r.rounds, static_cast<unsigned long long>(r.block_pool.hits),
+        static_cast<unsigned long long>(r.block_pool.misses),
+        static_cast<unsigned long long>(r.view_pool.hits),
+        static_cast<unsigned long long>(r.view_pool.misses),
+        static_cast<unsigned long long>(r.job_pool.hits),
+        static_cast<unsigned long long>(r.job_pool.misses));
+
+  if (json_path != nullptr && *json_path != '\0') {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 2;
+    }
+    out << "{\n  \"schema\": 1,\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      char buf[512];
+      std::snprintf(
+          buf, sizeof buf,
+          "    {\"mode\":\"%s\",\"workers\":%d,\"block_bytes\":%llu,"
+          "\"packs\":%llu,\"events\":%llu,\"events_per_sec\":%.9g,"
+          "\"allocs_steady\":%llu,\"allocs_per_event\":%.9g,\"rounds\":%d,"
+          "\"pool_hits\":%llu,\"pool_misses\":%llu,"
+          "\"view_hits\":%llu,\"view_misses\":%llu,"
+          "\"job_hits\":%llu,\"job_misses\":%llu}%s\n",
+          r.mode.c_str(), k.workers,
+          static_cast<unsigned long long>(k.block),
+          static_cast<unsigned long long>(r.packs),
+          static_cast<unsigned long long>(r.events), r.events_per_sec,
+          static_cast<unsigned long long>(r.allocs_steady),
+          r.allocs_per_event, r.rounds,
+          static_cast<unsigned long long>(r.block_pool.hits),
+          static_cast<unsigned long long>(r.block_pool.misses),
+          static_cast<unsigned long long>(r.view_pool.hits),
+          static_cast<unsigned long long>(r.view_pool.misses),
+          static_cast<unsigned long long>(r.job_pool.hits),
+          static_cast<unsigned long long>(r.job_pool.misses),
+          i + 1 < results.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ]\n}\n";
+    std::printf("-> %s\n", json_path);
+  }
+
+  // The invariant this bench exists for: the pooled hot path performs no
+  // heap allocation at steady state. events_per_sec drift is gated
+  // separately (tools/bench_gate.py vs the checked-in baseline).
+  const char* gate = std::getenv("ESP_HOTPATH_GATE");
+  const bool hard = gate == nullptr || std::strcmp(gate, "warn") != 0;
+  int rc = 0;
+  for (const auto& r : results) {
+    if (r.mode == "pool_on" && r.allocs_steady != 0) {
+      std::fprintf(stderr,
+                   "%s: pooled hot path allocated %llu times in the "
+                   "steady-state round (%.6f/event): zero-allocation "
+                   "invariant broken\n",
+                   hard ? "FAIL" : "WARN",
+                   static_cast<unsigned long long>(r.allocs_steady),
+                   r.allocs_per_event);
+      if (hard) rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main() { return run(std::getenv("ESP_HOTPATH_BENCH_JSON")); }

@@ -1,7 +1,10 @@
 #include "analysis/modules.hpp"
 
+#include <bit>
 #include <cstring>
+#include <vector>
 
+#include "core/pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
@@ -18,7 +21,15 @@ struct AnObs {
   obs::Counter& packs = obs::counter("an.packs_unpacked");
   obs::Counter& events = obs::counter("an.events_unpacked");
   obs::Counter& malformed = obs::counter("an.packs_malformed");
+  obs::Counter& run_copies = obs::counter("an.packs_copy_fallback");
 };
+
+/// A pack whose mpi/posix events interleave in more runs than this is
+/// shipped as two per-class copies instead of per-run views: pathological
+/// interleaves would otherwise fan out into hundreds of tiny jobs. The
+/// split decision is a pure function of the pack bytes, so pool-on and
+/// pool-off runs make the same choice and stay bit-identical.
+constexpr std::size_t kMaxViewRuns = 16;
 
 AnObs& aobs() {
   static AnObs o;
@@ -89,28 +100,77 @@ void register_unpacker(bb::Blackboard& board, const AppLevel& level) {
            if (obs_on) aobs().malformed.add(1);
            return;
          }
-         std::vector<Event> mpi_events, posix_events;
-         mpi_events.reserve(v.header->event_count);
-         for (const Event& ev : v.span()) {
-           if (inst::is_mpi(ev.kind)) {
-             mpi_events.push_back(ev);
-           } else {
-             posix_events.push_back(ev);
-           }
+         const auto events = v.span();
+         // Maximal runs of the same event class (mpi vs posix). Each run
+         // is already contiguous in the stream block, so it can go to the
+         // profiling KSs as a view that aliases the block — no copy, and
+         // the block returns to its pool when the last run is consumed.
+         std::size_t runs = 0;
+         for (std::size_t i = 0; i < events.size(); ++runs) {
+           const bool is_mpi = inst::is_mpi(events[i].kind);
+           do {
+             ++i;
+           } while (i < events.size() && inst::is_mpi(events[i].kind) == is_mpi);
          }
-         // Both derived entries enter the board in one batch: the
-         // profiling KSs downstream are locked once per pack.
-         std::vector<bb::DataEntry> out;
-         auto emit = [&](bb::TypeId t, const std::vector<Event>& evs) {
-           if (evs.empty()) return;
-           out.emplace_back(
-               t, Buffer::copy_of(evs.data(), evs.size() * sizeof(Event)));
-         };
-         emit(out_mpi, mpi_events);
-         emit(out_posix, posix_events);
+         // All derived entries enter the board in one batch: the
+         // profiling KSs downstream are locked once per pack, and the
+         // scratch vector's capacity is retained across packs.
+         static thread_local std::vector<bb::DataEntry> out;
+         out.clear();
+         if (runs <= kMaxViewRuns) {
+           const bool pooled = mem::pools_enabled();
+           for (std::size_t i = 0; i < events.size();) {
+             const bool is_mpi = inst::is_mpi(events[i].kind);
+             std::size_t j = i + 1;
+             while (j < events.size() &&
+                    inst::is_mpi(events[j].kind) == is_mpi)
+               ++j;
+             const std::size_t off =
+                 sizeof(inst::PackHeader) + i * sizeof(Event);
+             const std::size_t len = (j - i) * sizeof(Event);
+             out.emplace_back(is_mpi ? out_mpi : out_posix,
+                              pooled ? mem::view_pool().view(e.payload, off, len)
+                                     : Buffer::view_of(e.payload, off, len));
+             i = j;
+           }
+         } else {
+           // Copy fallback: two per-class buffers, events in pack order.
+           // Pool keys are power-of-two so pathological packs of similar
+           // size share pools instead of minting one per byte count.
+           if (obs_on) aobs().run_copies.add(1);
+           std::size_t n_mpi = 0;
+           for (const Event& ev : events)
+             if (inst::is_mpi(ev.kind)) ++n_mpi;
+           auto make_class_buf = [](std::size_t n_events) {
+             const std::size_t bytes = n_events * sizeof(Event);
+             return mem::acquire_block(std::bit_ceil(bytes), bytes);
+           };
+           BufferRef mpi_buf, posix_buf;
+           Event* mpi_out = nullptr;
+           Event* posix_out = nullptr;
+           if (n_mpi > 0) {
+             mpi_buf = make_class_buf(n_mpi);
+             mpi_out = mpi_buf->as_mutable<Event>().data();
+           }
+           if (n_mpi < events.size()) {
+             posix_buf = make_class_buf(events.size() - n_mpi);
+             posix_out = posix_buf->as_mutable<Event>().data();
+           }
+           for (const Event& ev : events) {
+             if (inst::is_mpi(ev.kind))
+               *mpi_out++ = ev;
+             else
+               *posix_out++ = ev;
+           }
+           if (mpi_buf) out.emplace_back(out_mpi, std::move(mpi_buf));
+           if (posix_buf) out.emplace_back(out_posix, std::move(posix_buf));
+         }
          // Derived entries keep the tenant's affinity so the fair-share
          // scheduler can key them to the same injection FIFO.
          b.submit_batch(out, tenant);
+         // Drop the view references now — a scratch entry lingering until
+         // the next pack would pin this pack's stream block.
+         out.clear();
          if (obs_on) {
            auto& o = aobs();
            o.packs.add(1);

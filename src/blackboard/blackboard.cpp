@@ -44,6 +44,56 @@ std::size_t round_up_pow2(std::size_t n) {
 
 }  // namespace
 
+/// Per-thread scratch for submit_batch: the snapshot/grouping vectors are
+/// reused across calls (capacity — including the nested vectors' — is
+/// retained via used-counters instead of clear()), so a warm submitter
+/// allocates nothing. submit_batch never re-enters itself on a thread
+/// (enqueue_batch only queues; operations run later), so one scratch per
+/// thread is safe.
+struct Blackboard::BatchScratch {
+  struct TypeSnap {
+    TypeId type;
+    std::vector<std::shared_ptr<KsState>> interested;
+  };
+  struct KsBatch {
+    KsState* key;
+    std::shared_ptr<KsState> ks;
+    std::vector<const DataEntry*> entries;
+  };
+  std::vector<TypeSnap> snaps;
+  std::vector<KsBatch> touched;
+  std::vector<Job*> jobs;
+  std::size_t n_snaps = 0;
+  std::size_t n_touched = 0;
+
+  TypeSnap& push_snap() {
+    if (n_snaps == snaps.size()) snaps.emplace_back();
+    return snaps[n_snaps++];
+  }
+  KsBatch& push_touched() {
+    if (n_touched == touched.size()) touched.emplace_back();
+    return touched[n_touched++];
+  }
+  /// Drop every KS reference at the end of the call — scratch must not
+  /// keep knowledge sources alive while the thread idles.
+  void reset() noexcept {
+    for (std::size_t i = 0; i < n_snaps; ++i) snaps[i].interested.clear();
+    for (std::size_t i = 0; i < n_touched; ++i) {
+      touched[i].key = nullptr;
+      touched[i].ks.reset();
+      touched[i].entries.clear();
+    }
+    n_snaps = 0;
+    n_touched = 0;
+    jobs.clear();
+  }
+};
+
+Blackboard::BatchScratch& Blackboard::scratch() {
+  static thread_local BatchScratch s;
+  return s;
+}
+
 Blackboard::Blackboard(BlackboardConfig cfg) : cfg_(cfg) {
   if (cfg_.workers <= 0)
     throw std::invalid_argument("BlackboardConfig::workers must be > 0");
@@ -75,6 +125,16 @@ Blackboard::Blackboard(BlackboardConfig cfg) : cfg_(cfg) {
                      cfg_.injection_fifos, cfg_.fifo_count);
     }
   }
+
+  // Latched here (not per call) so acquire/release pairing stays
+  // consistent even if a test flips the global switch mid-run.
+  use_job_pool_ = mem::pools_enabled();
+  // Worker-scaled warmup: a pool that only grows by adoption would pay
+  // one heap miss every time the in-flight job count sets a new peak —
+  // arbitrarily late into a run. Preallocating the typical working set
+  // front-loads those misses into construction.
+  if (use_job_pool_)
+    job_pool_.reserve(static_cast<std::size_t>(cfg_.workers) * 16 + 64);
 
   const std::size_t shards =
       round_up_pow2(static_cast<std::size_t>(cfg_.index_shards));
@@ -203,57 +263,62 @@ void Blackboard::submit_batch(std::span<const DataEntry> entries,
   // Snapshot interested KSs once per distinct type in the batch (under the
   // type's shard lock, shared mode), then group the batch per KS so each
   // KS mutex is taken once for the whole batch. Entry order is preserved.
-  struct TypeSnap {
-    TypeId type;
-    std::vector<std::shared_ptr<KsState>> interested;
-  };
-  struct KsBatch {
-    KsState* key;
-    std::shared_ptr<KsState> ks;
-    std::vector<const DataEntry*> entries;
-  };
-  std::vector<TypeSnap> snaps;   // batches carry few distinct types
-  std::vector<KsBatch> touched;  // ... and trigger few distinct KSs
-
+  // All grouping state lives in per-thread scratch whose capacity is
+  // retained across calls: a warm submitter performs zero allocations here.
+  BatchScratch& sc = scratch();
   for (const DataEntry& e : entries) {
-    TypeSnap* snap = nullptr;
-    for (auto& s : snaps)
-      if (s.type == e.type) {
-        snap = &s;
+    BatchScratch::TypeSnap* snap = nullptr;
+    for (std::size_t i = 0; i < sc.n_snaps; ++i)
+      if (sc.snaps[i].type == e.type) {
+        snap = &sc.snaps[i];
         break;
       }
     if (snap == nullptr) {
-      TypeSnap s;
-      s.type = e.type;
+      snap = &sc.push_snap();
+      snap->type = e.type;
       auto& sh = shard_of(e.type);
       {
         std::shared_lock lock(sh.mu);
         auto it = sh.map.find(e.type);
-        if (it != sh.map.end()) s.interested = it->second;
+        if (it != sh.map.end())
+          snap->interested.assign(it->second.begin(), it->second.end());
       }
-      snaps.push_back(std::move(s));
-      snap = &snaps.back();
     }
     for (const auto& ks : snap->interested) {
-      KsBatch* kb = nullptr;
-      for (auto& b : touched)
-        if (b.key == ks.get()) {
-          kb = &b;
+      BatchScratch::KsBatch* kb = nullptr;
+      for (std::size_t i = 0; i < sc.n_touched; ++i)
+        if (sc.touched[i].key == ks.get()) {
+          kb = &sc.touched[i];
           break;
         }
       if (kb == nullptr) {
-        touched.push_back(KsBatch{ks.get(), ks, {}});
-        kb = &touched.back();
+        kb = &sc.push_touched();
+        kb->key = ks.get();
+        kb->ks = ks;
       }
       kb->entries.push_back(&e);
     }
   }
 
-  std::vector<Job*> jobs;
-  for (auto& kb : touched) {
+  for (std::size_t ti = 0; ti < sc.n_touched; ++ti) {
+    auto& kb = sc.touched[ti];
     if (!kb.ks->alive.load(std::memory_order_acquire)) continue;
     Job* chunk = nullptr;
     std::lock_guard lock(kb.ks->mu);
+    if (kb.ks->sensitivities.size() == 1) {
+      // Arity-1 fast path (every hot KS: dispatcher, unpacker, the
+      // profilers): each entry satisfies the single sensitivity on
+      // arrival, so nothing ever lingers in `pending` — append straight
+      // to the chunk and skip the deque churn. Behaviour is identical to
+      // the general path because pending[t] is provably empty here.
+      chunk = acquire_job();
+      chunk->ks = kb.ks;
+      chunk->arity = 1;
+      chunk->entries.reserve(kb.entries.size());
+      for (const DataEntry* e : kb.entries) chunk->entries.push_back(*e);
+      sc.jobs.push_back(chunk);
+      continue;
+    }
     for (const DataEntry* e : kb.entries) {
       kb.ks->pending[e->type].push_back(*e);
       // Last unsatisfied sensitivity? Collect one group's worth of
@@ -267,11 +332,11 @@ void Blackboard::submit_batch(std::span<const DataEntry> entries,
       }
       if (!satisfied) continue;
       if (chunk == nullptr) {
-        chunk = new Job;
+        chunk = acquire_job();
         chunk->ks = kb.ks;
         chunk->arity =
             static_cast<std::uint32_t>(kb.ks->sensitivities.size());
-        jobs.push_back(chunk);
+        sc.jobs.push_back(chunk);
       }
       for (TypeId t : kb.ks->sensitivities) {
         auto& q = kb.ks->pending[t];
@@ -280,7 +345,8 @@ void Blackboard::submit_batch(std::span<const DataEntry> entries,
       }
     }
   }
-  enqueue_batch(jobs, affinity);
+  enqueue_batch(sc.jobs, affinity);
+  sc.reset();
 }
 
 void Blackboard::enqueue_batch(std::vector<Job*>& jobs, int affinity) {
@@ -302,15 +368,29 @@ void Blackboard::enqueue_batch(std::vector<Job*>& jobs, int affinity) {
         affinity >= 0
             ? mix64(static_cast<std::uint64_t>(affinity) + 1) % fifos_.size()
             : mix64(rr_seed_.fetch_add(0x9e3779b9)) % fifos_.size();
-    std::lock_guard lock(fifos_[qi]->mu);
-    for (Job* j : jobs) fifos_[qi]->jobs.push_back(j);
+    auto& f = *fifos_[qi];
+    std::lock_guard lock(f.mu);
+    for (Job* j : jobs) {
+      j->link = nullptr;
+      if (f.tail != nullptr)
+        f.tail->link = j;
+      else
+        f.head = j;
+      f.tail = j;
+    }
   } else {
     // Paper-faithful contention spreading: each job to a random FIFO.
     for (Job* j : jobs) {
       const std::size_t qi =
           mix64(rr_seed_.fetch_add(0x9e3779b9)) % fifos_.size();
-      std::lock_guard lock(fifos_[qi]->mu);
-      fifos_[qi]->jobs.push_back(j);
+      auto& f = *fifos_[qi];
+      std::lock_guard lock(f.mu);
+      j->link = nullptr;
+      if (f.tail != nullptr)
+        f.tail->link = j;
+      else
+        f.head = j;
+      f.tail = j;
     }
   }
   if (jobs.size() == 1)
@@ -322,9 +402,11 @@ void Blackboard::enqueue_batch(std::vector<Job*>& jobs, int affinity) {
 Blackboard::Job* Blackboard::pop_fifo(std::size_t qi) {
   auto& f = *fifos_[qi];
   std::lock_guard lock(f.mu);
-  if (f.jobs.empty()) return nullptr;
-  Job* j = f.jobs.front();
-  f.jobs.pop_front();
+  Job* j = f.head;
+  if (j == nullptr) return nullptr;
+  f.head = j->link;
+  if (f.head == nullptr) f.tail = nullptr;
+  j->link = nullptr;
   return j;
 }
 
@@ -411,7 +493,10 @@ void Blackboard::execute(Job* job) {
     obs::trace_span("bb", "ks.job", t_begin, obs::real_now(), groups,
                     "groups");
   }
-  delete job;
+  // Return the chunk to the job pool: pool_reset() drops the entry
+  // payloads immediately (releasing any stream block the last view was
+  // pinning) while the entries vector keeps its capacity for reuse.
+  release_job(job);
   if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard lock(drain_mu_);
     drain_cv_.notify_all();

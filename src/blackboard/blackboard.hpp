@@ -63,6 +63,7 @@
 #include "common/buffer.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
+#include "core/pool.hpp"
 
 namespace esp::bb {
 
@@ -277,6 +278,15 @@ class Blackboard {
   void stop();
 
   BlackboardStats stats() const;
+  /// Job-chunk pool counters (zero-valued when ESP_POOL=0).
+  mem::PoolStats job_pool_stats() const { return job_pool_.stats(); }
+  /// Warmup preallocation: make `n` job chunks available (and resident —
+  /// the floor rises past the retain cap) without further heap traffic.
+  /// The constructor reserves a worker-scaled default; latency-critical
+  /// drivers (the hotpath bench) raise it to their peak in-flight count.
+  void reserve_jobs(std::size_t n) {
+    if (use_job_pool_) job_pool_.reserve(n);
+  }
   int worker_count() const noexcept { return static_cast<int>(workers_.size()); }
   /// Effective injection-FIFO array width after alias resolution.
   int injection_fifo_count() const noexcept {
@@ -315,13 +325,28 @@ class Blackboard {
     /// execution time (not steal time) so jobs_stolen <= jobs_executed
     /// holds in every stats() snapshot.
     bool stolen = false;
+    /// Intrusive link: the FIFO chain while queued, the free chain while
+    /// idle in the job pool. A job is never in both states at once.
+    Job* link = nullptr;
+
+    /// Pool hook: drop the entry payloads *now* (they may pin a stream
+    /// block) but keep the vector's capacity for the next batch.
+    void pool_reset() noexcept {
+      ks.reset();
+      entries.clear();
+      arity = 1;
+      stolen = false;
+      link = nullptr;
+    }
   };
 
   /// A lock-protected FIFO: the whole scheduler under LockedFifos, the
-  /// external-producer injection queue under WorkStealing.
+  /// external-producer injection queue under WorkStealing. Intrusively
+  /// chained through Job::link so queue operations never allocate.
   struct Fifo {
     std::mutex mu;
-    std::deque<Job*> jobs;
+    Job* head = nullptr;
+    Job* tail = nullptr;
   };
 
   struct Worker {
@@ -332,8 +357,10 @@ class Blackboard {
     std::size_t fifo_rr = 0;
   };
 
-  /// One shard of the sensitivity hash table.
-  struct IndexShard {
+  /// One shard of the sensitivity hash table. Cache-line aligned: shards
+  /// sit contiguously in a vector and are locked from many threads, so an
+  /// unaligned shard would false-share its neighbour's shared_mutex.
+  struct alignas(64) IndexShard {
     mutable std::shared_mutex mu;
     std::unordered_map<TypeId, std::vector<std::shared_ptr<KsState>>> map;
   };
@@ -349,7 +376,24 @@ class Blackboard {
   void worker_loop(int worker_index);
   void drain_leftovers();
 
+  /// Reusable per-thread submit_batch scratch (defined in the .cpp).
+  struct BatchScratch;
+  static BatchScratch& scratch();
+
+  Job* acquire_job() { return use_job_pool_ ? job_pool_.acquire() : new Job; }
+  void release_job(Job* job) noexcept {
+    if (use_job_pool_)
+      job_pool_.release(job);
+    else
+      delete job;
+  }
+
   BlackboardConfig cfg_;
+  /// Latched at construction so every job allocated by this board is
+  /// freed the same way, even if the global pool switch is toggled
+  /// mid-flight (tests do exactly that between sessions).
+  bool use_job_pool_ = true;
+  mem::ObjectPool<Job, &Job::link> job_pool_;
 
   // Sharded sensitivity hash table: type id -> interested KSs.
   std::vector<IndexShard> index_shards_;

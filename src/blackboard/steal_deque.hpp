@@ -123,9 +123,13 @@ class StealDeque {
     return bigger;
   }
 
-  std::atomic<std::int64_t> top_{0};
-  std::atomic<std::int64_t> bottom_{0};
-  std::atomic<Ring*> ring_;
+  // top_ is hammered by thieves' CASes while bottom_ is written by the
+  // owner on every push/pop; padding each to its own cache line keeps a
+  // steal from invalidating the owner's line (and vice versa). ring_ and
+  // the retired list are read-mostly and share the third line.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Ring*> ring_;
   std::vector<std::unique_ptr<Ring>> retired_;  ///< Owner-only mutation.
 };
 

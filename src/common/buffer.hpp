@@ -6,21 +6,32 @@
 /// byte payloads. The paper manages blackboard data with a ref-counting
 /// scheme where a payload is writable only while its ref-counter equals
 /// one (Section III-B); Buffer exposes exactly that rule.
+///
+/// A Buffer is either *owning* (a byte vector) or a *view*: a window into
+/// another buffer that holds the parent alive. Views are how the zero-copy
+/// unpacker hands event runs to knowledge sources without copying them out
+/// of the stream block — the block's refcount falls only when the last
+/// view over it is released (DESIGN.md "Hot path memory model").
 
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 namespace esp {
 
-/// An owning, shareable blob of bytes.
+class Buffer;
+using BufferRef = std::shared_ptr<Buffer>;
+
+/// An owning, shareable blob of bytes — or a borrowed window into one.
 ///
 /// Copying a BufferRef only bumps a reference count; the payload itself is
 /// shared. `writable()` is true only for the unique owner, mirroring the
-/// paper's "writable iff ref-counter == 1" rule.
+/// paper's "writable iff ref-counter == 1" rule. Views are read-only by
+/// convention: their bytes belong to the parent.
 class Buffer {
  public:
   Buffer() = default;
@@ -36,35 +47,79 @@ class Buffer {
     if (size != 0) std::memcpy(b->data(), data, size);
     return b;
   }
-
-  std::byte* data() noexcept { return bytes_.data(); }
-  const std::byte* data() const noexcept { return bytes_.data(); }
-  std::size_t size() const noexcept { return bytes_.size(); }
-  bool empty() const noexcept { return bytes_.empty(); }
-  void resize(std::size_t n) { bytes_.resize(n); }
-
-  std::span<std::byte> span() noexcept { return {bytes_.data(), bytes_.size()}; }
-  std::span<const std::byte> span() const noexcept {
-    return {bytes_.data(), bytes_.size()};
+  /// A read-only window over `[offset, offset + size)` of `parent`,
+  /// holding the parent alive. Throws std::out_of_range on a window that
+  /// does not fit. (Pooled views come from mem::ViewPool instead; this is
+  /// the heap fallback with identical semantics.)
+  static std::shared_ptr<Buffer> view_of(BufferRef parent, std::size_t offset,
+                                         std::size_t size) {
+    auto b = std::make_shared<Buffer>();
+    b->bind_view(std::move(parent), offset, size);
+    return b;
   }
+
+  std::byte* data() noexcept { return parent_ ? view_data_ : bytes_.data(); }
+  const std::byte* data() const noexcept {
+    return parent_ ? view_data_ : bytes_.data();
+  }
+  std::size_t size() const noexcept {
+    return parent_ ? view_size_ : bytes_.size();
+  }
+  bool empty() const noexcept { return size() == 0; }
+  bool is_view() const noexcept { return parent_ != nullptr; }
+
+  /// Owning buffers only (a view's size belongs to its parent). Within the
+  /// established capacity this never reallocates, which is what lets
+  /// pooled buffers be resized to a partial block for free.
+  void resize(std::size_t n) {
+    if (parent_) throw std::logic_error("Buffer::resize on a view");
+    bytes_.resize(n);
+  }
+
+  /// Re-point this buffer at a window of `parent` (pool plumbing; most
+  /// callers want view_of / mem::ViewPool). Replaces any previous state;
+  /// owned storage is kept allocated for later reuse.
+  void bind_view(BufferRef parent, std::size_t offset, std::size_t size) {
+    if (!parent || offset + size > parent->size() || offset + size < offset)
+      throw std::out_of_range("Buffer::bind_view: window outside parent");
+    view_data_ = parent->data() + offset;
+    view_size_ = size;
+    parent_ = std::move(parent);
+  }
+  /// Drop the parent reference and revert to the owned storage (empty for
+  /// pool view nodes). Called by the view pool before recycling a node so
+  /// an idle node never pins a stream block.
+  void unbind_view() noexcept {
+    parent_.reset();
+    view_data_ = nullptr;
+    view_size_ = 0;
+  }
+
+  std::span<std::byte> span() noexcept { return {data(), size()}; }
+  std::span<const std::byte> span() const noexcept { return {data(), size()}; }
 
   /// Reinterpret the payload as an array of trivially-copyable T.
   template <typename T>
   std::span<const T> as() const noexcept {
     static_assert(std::is_trivially_copyable_v<T>);
-    return {reinterpret_cast<const T*>(bytes_.data()), bytes_.size() / sizeof(T)};
+    return {reinterpret_cast<const T*>(data()), size() / sizeof(T)};
   }
   template <typename T>
   std::span<T> as_mutable() noexcept {
     static_assert(std::is_trivially_copyable_v<T>);
-    return {reinterpret_cast<T*>(bytes_.data()), bytes_.size() / sizeof(T)};
+    return {reinterpret_cast<T*>(data()), size() / sizeof(T)};
   }
 
  private:
   std::vector<std::byte> bytes_;
+  // View state; engaged iff parent_ is set. The raw pointer stays valid
+  // because parent_ keeps the parent (and transitively the root owner)
+  // alive, and owning buffers are never resized while shared (the
+  // "writable iff unique" rule).
+  std::byte* view_data_ = nullptr;
+  std::size_t view_size_ = 0;
+  BufferRef parent_;
 };
-
-using BufferRef = std::shared_ptr<Buffer>;
 
 /// Paper rule: a shared payload is writable only by its unique owner.
 inline bool writable(const BufferRef& b) noexcept { return b && b.use_count() == 1; }

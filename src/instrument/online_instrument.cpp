@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "core/pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
@@ -45,7 +46,10 @@ const char* event_kind_name(EventKind k) noexcept {
 
 struct OnlineInstrument::RankState {
   vmpi::Stream stream;
-  std::vector<std::byte> pack;
+  // Pack staging area, drawn from the block pool so rank open/close cycles
+  // (tenant sessions) recycle the same staging blocks instead of
+  // reallocating them per rank.
+  BufferRef pack;
   std::uint32_t count = 0;
   std::uint32_t capacity = 0;
   std::uint64_t seq = 0;
@@ -85,7 +89,7 @@ struct OnlineInstrument::RankState {
   std::map<std::uint32_t, AggCell> agg;
 
   explicit RankState(const vmpi::StreamConfig& scfg)
-      : stream(scfg), pack(scfg.block_size) {}
+      : stream(scfg), pack(mem::acquire_block(scfg.block_size)) {}
 };
 
 OnlineInstrument::OnlineInstrument(mpi::Runtime& rt, InstrumentConfig cfg)
@@ -144,7 +148,7 @@ void OnlineInstrument::on_init(mpi::RankContext& rc) {
 void OnlineInstrument::append(mpi::RankContext& rc, RankState& st,
                               const Event& ev) {
   rc.advance(cfg_.per_event_cost);
-  auto* base = st.pack.data() + sizeof(PackHeader);
+  auto* base = st.pack->data() + sizeof(PackHeader);
   std::memcpy(base + st.count * sizeof(Event), &ev, sizeof(Event));
   ++st.count;
   ++st.events;
@@ -213,7 +217,7 @@ void OnlineInstrument::flush(mpi::RankContext& rc, RankState& st) {
       ev.t_end = cell.t_last;
       ev.weight = static_cast<std::uint32_t>(
           std::min<std::uint64_t>(cell.hits, 0xffffffffu));
-      auto* base = st.pack.data() + sizeof(PackHeader);
+      auto* base = st.pack->data() + sizeof(PackHeader);
       std::memcpy(base + st.count * sizeof(Event), &ev, sizeof(Event));
       ++st.count;
       ++st.events;
@@ -239,12 +243,12 @@ void OnlineInstrument::write_pack(mpi::RankContext& rc, RankState& st) {
   h.sample_stride = st.mode == PackMode::Sampled ? st.stride : 1;
   h.t_flush = rc.clock;
   h.t_admit = st.t_admit;
-  std::memcpy(st.pack.data(), &h, sizeof h);
+  std::memcpy(st.pack->data(), &h, sizeof h);
   // Full packs ship as whole blocks; the finalize tail ships only its
   // used bytes (a real tool does not pad its last buffer to 1 MB).
   const std::uint64_t used = sizeof(PackHeader) + st.count * sizeof(Event);
   const std::uint32_t count = st.count;
-  st.stream.write_partial(st.pack.data(), used);
+  st.stream.write_partial(st.pack->data(), used);
   st.bytes_streamed += used;
   st.count = 0;
   ++st.packs;

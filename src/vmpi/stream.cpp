@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/hash.hpp"
+#include "core/pool.hpp"
 #include "net/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
@@ -189,7 +190,11 @@ void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
     for (int peer : peers_)
       universe_.psend(&ctl, sizeof ctl, peer, kStreamCtlTag);
     out_.resize(static_cast<std::size_t>(cfg_.n_async));
-    for (auto& b : out_) b.data = Buffer::make(cfg_.block_size + frame_bytes());
+    // Pool-backed slot buffers: streams are reopened per tenant session,
+    // and the pool keyed by (block + frame) size hands the same blocks
+    // back instead of reallocating a megabyte per slot per open.
+    for (auto& b : out_)
+      b.data = mem::acquire_block(cfg_.block_size + frame_bytes());
     out_seq_.assign(peers_.size(), 0);
     // Failover engages only when this run can actually lose a reader:
     // fault injection on, framing on (replay needs the real frames), and
@@ -234,7 +239,7 @@ void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
     ip.tag = ctl.tag;
     ip.slots.resize(static_cast<std::size_t>(cfg_.n_async));
     for (auto& s : ip.slots) {
-      s.data = Buffer::make(cfg_.block_size + frame_bytes());
+      s.data = mem::acquire_block(cfg_.block_size + frame_bytes());
       s.req = universe_.pirecv(s.data, cfg_.block_size + frame_bytes(), peer,
                                ip.tag);
     }
@@ -353,7 +358,13 @@ int Stream::write_partial(const void* buf, std::uint64_t bytes) {
     // Keep a framed copy for replay after a failover; blocks evicted from
     // the ring are unreplayable and will surface as seq-gap loss.
     auto& ring = resend_[ti];
-    ring.push_back(Buffer::copy_of(ob.data->data(), bytes + frame_bytes()));
+    // Pooled copy sized to the framed payload: evicted ring entries (and
+    // replayed ones at teardown) go straight back to the block pool, so a
+    // failover-armed writer stops costing one malloc per block written.
+    BufferRef copy =
+        mem::acquire_block(cfg_.block_size + frame_bytes(), bytes + frame_bytes());
+    std::memcpy(copy->data(), ob.data->data(), bytes + frame_bytes());
+    ring.push_back(std::move(copy));
     if (ring.size() > static_cast<std::size_t>(cfg_.resend_window))
       ring.pop_front();
   }
@@ -512,7 +523,7 @@ void Stream::accept_failover_joins() {
     // every unreplayable pre-failover block to the loss ledger.
     ip.slots.resize(static_cast<std::size_t>(fc.ctl.n_async));
     for (auto& s : ip.slots) {
-      s.data = Buffer::make(cfg_.block_size + frame_bytes());
+      s.data = mem::acquire_block(cfg_.block_size + frame_bytes());
       s.req = universe_.pirecv(s.data, cfg_.block_size + frame_bytes(), src,
                                ip.tag);
     }
@@ -785,7 +796,11 @@ int Stream::read_some(std::vector<BufferRef>& out, int max_blocks,
     throw std::logic_error("Stream::read_some: max_blocks must be > 0");
   int got = 0;
   while (got < max_blocks) {
-    auto block = Buffer::make(cfg_.block_size);
+    // Pool-backed: the block travels dispatcher → unpacker as-is, event
+    // runs alias it zero-copy, and when the last knowledge source's view
+    // is released the block returns here for the next read. Steady-state
+    // analyzer reads therefore perform no heap allocation.
+    auto block = mem::acquire_block(cfg_.block_size);
     const int r = read(block->data(), 1, got == 0 ? flags : kNonblock);
     if (r != 1) {
       // Terminal codes (0 / kEpipe) recur on the next call; a burst that

@@ -1,0 +1,301 @@
+/// \file test_pool.cpp
+/// \brief Pool allocators behind the allocation-free event path: buffer /
+/// view / object pools, the zero-allocation steady state (under the
+/// malloc-interposition probe), pooled entries surviving KS quarantine,
+/// and the ESP_POOL on/off bit-identity guarantee.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "blackboard/blackboard.hpp"
+#include "core/pool.hpp"
+#include "core/session.hpp"
+#include "obs/alloc_probe.hpp"
+
+namespace esp {
+namespace {
+
+/// Every test in this binary runs with pooling globally on unless it
+/// toggles the switch itself; restore the default state afterwards so
+/// test order cannot leak a disabled pool into an unrelated case.
+class PoolTest : public ::testing::Test {
+ protected:
+  void TearDown() override { mem::set_pools_enabled(true); }
+};
+
+TEST_F(PoolTest, AcquireReleaseRoundTripReusesBuffer) {
+  mem::BufferPool pool(4096, 8);
+  std::byte* first = nullptr;
+  {
+    BufferRef b = pool.acquire();
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->size(), 4096u);
+    first = b->data();
+    b->data()[0] = std::byte{0x5a};
+  }
+  const mem::PoolStats after_release = pool.stats();
+  EXPECT_EQ(after_release.misses, 1u);  // cold first acquire
+  EXPECT_EQ(after_release.released, 1u);
+  EXPECT_EQ(after_release.retained, 1u);
+  {
+    BufferRef b = pool.acquire(128);
+    EXPECT_EQ(b->data(), first) << "warm acquire must reuse the node";
+    EXPECT_EQ(b->size(), 128u);
+  }
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST_F(PoolTest, ReserveMakesAcquiresAllHits) {
+  mem::BufferPool pool(1024, 4);
+  pool.reserve(16);  // past the retain cap: reserve raises the floor
+  EXPECT_EQ(pool.stats().retained, 16u);
+  std::vector<BufferRef> held;
+  for (int i = 0; i < 16; ++i) held.push_back(pool.acquire());
+  const mem::PoolStats s = pool.stats();
+  EXPECT_EQ(s.hits, 16u);
+  EXPECT_EQ(s.misses, 0u);
+  held.clear();
+  // The raised floor keeps all 16 resident, none trimmed.
+  EXPECT_EQ(pool.stats().trimmed, 0u);
+  EXPECT_EQ(pool.stats().retained, 16u);
+}
+
+TEST_F(PoolTest, ExhaustionFallsBackToHeapCountedNotFatal) {
+  mem::BufferPool pool(256, 2);
+  std::vector<BufferRef> held;
+  for (int i = 0; i < 10; ++i) held.push_back(pool.acquire());
+  EXPECT_EQ(pool.stats().misses, 10u);  // all cold: counted, served anyway
+  for (auto& b : held) {
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->size(), 256u);
+  }
+  held.clear();
+  // Releases beyond the cap are trimmed, the rest adopted.
+  const mem::PoolStats s = pool.stats();
+  EXPECT_EQ(s.released + s.trimmed, 10u);
+  EXPECT_EQ(s.retained, 2u);
+}
+
+TEST_F(PoolTest, ConcurrentAcquireReleaseKeepsAccountsBalanced) {
+  mem::BufferPool pool(512, 32);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&pool] {
+      std::vector<BufferRef> local;
+      for (int i = 0; i < kIters; ++i) {
+        local.push_back(pool.acquire());
+        if (local.size() >= 8) local.clear();
+      }
+    });
+  for (auto& th : threads) th.join();
+  const mem::PoolStats s = pool.stats();
+  EXPECT_EQ(s.hits + s.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_LE(s.retained, 32u);
+}
+
+TEST_F(PoolTest, ViewAliasesParentAndKeepsItAlive) {
+  mem::BufferPool pool(1024, 8);
+  mem::ViewPool views(8);
+  BufferRef parent = pool.acquire();
+  for (std::size_t i = 0; i < 16; ++i)
+    parent->data()[i] = static_cast<std::byte>(i);
+
+  BufferRef v = views.view(parent, 4, 8);
+  EXPECT_TRUE(v->is_view());
+  EXPECT_EQ(v->size(), 8u);
+  EXPECT_EQ(v->data(), parent->data() + 4) << "view must alias, not copy";
+
+  // Drop the direct parent handle: the view alone keeps the node alive.
+  std::byte* raw = parent->data();
+  parent.reset();
+  EXPECT_EQ(pool.stats().released, 0u) << "view still pins the buffer";
+  EXPECT_EQ(static_cast<std::size_t>(v->data()[3]), 7u);
+  EXPECT_EQ(v->data(), raw + 4);
+
+  // Releasing the last view returns BOTH nodes to their pools.
+  v.reset();
+  EXPECT_EQ(pool.stats().released, 1u);
+  EXPECT_EQ(views.stats().released, 1u);
+}
+
+TEST_F(PoolTest, ViewNodeIsUnboundBeforeRecycling) {
+  mem::BufferPool pool(64, 4);
+  mem::ViewPool views(4);
+  BufferRef parent = pool.acquire();
+  { BufferRef v = views.view(parent, 0, 16); }
+  // The recycled node must not pin the parent: dropping our handle is the
+  // last reference, so the buffer goes straight back to its pool.
+  parent.reset();
+  EXPECT_EQ(pool.stats().released, 1u);
+}
+
+TEST_F(PoolTest, ViewBindingValidatesWindow) {
+  BufferRef parent = Buffer::make(32);
+  EXPECT_THROW((void)Buffer::view_of(parent, 16, 32), std::out_of_range);
+  EXPECT_THROW((void)Buffer::view_of(nullptr, 0, 0), std::out_of_range);
+  BufferRef v = Buffer::view_of(parent, 8, 8);
+  EXPECT_THROW(v->resize(64), std::logic_error);
+}
+
+TEST_F(PoolTest, WarmAcquireReleaseCycleIsAllocationFree) {
+  ASSERT_TRUE(obs::alloc_probe_active());
+  mem::set_pools_enabled(true);
+  mem::BufferPool pool(2048, 8);
+  mem::ViewPool views(8);
+  // Warm: one cold lap mints nodes, control slabs and view nodes.
+  for (int i = 0; i < 4; ++i) {
+    BufferRef b = pool.acquire();
+    BufferRef v = views.view(b, 0, 512);
+  }
+  const obs::AllocCounts before = obs::alloc_counts();
+  for (int i = 0; i < 1000; ++i) {
+    BufferRef b = pool.acquire(777);
+    BufferRef v = views.view(b, 16, 256);
+    b.reset();                      // view alone keeps the node alive
+    ASSERT_EQ(v->size(), 256u);
+  }
+  const obs::AllocCounts after = obs::alloc_counts();
+  EXPECT_EQ(after.allocs, before.allocs)
+      << "warm pooled acquire/view/release cycle must not touch the heap";
+}
+
+struct PooledThing {
+  PooledThing* next = nullptr;
+  std::vector<int> payload;
+  void pool_reset() noexcept {
+    payload.clear();
+    next = nullptr;
+  }
+};
+
+TEST_F(PoolTest, ObjectPoolRecyclesAndResets) {
+  mem::ObjectPool<PooledThing, &PooledThing::next> pool(4);
+  PooledThing* a = pool.acquire();
+  a->payload = {1, 2, 3};
+  a->payload.reserve(100);
+  const int* cap_probe = a->payload.data();
+  pool.release(a);
+  PooledThing* b = pool.acquire();
+  EXPECT_EQ(b, a) << "released object must be reused";
+  EXPECT_TRUE(b->payload.empty()) << "pool_reset must clear the payload";
+  EXPECT_EQ(b->payload.data(), cap_probe)
+      << "pool_reset must retain the vector's capacity";
+  pool.release(b);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST_F(PoolTest, QuarantinedKsReleasesPooledViewEntries) {
+  mem::set_pools_enabled(true);
+  mem::BufferPool pool(4096, 8);
+  const std::uint64_t released0 = pool.stats().released;
+
+  bb::BlackboardConfig cfg;
+  cfg.workers = 2;
+  cfg.quarantine_threshold = 3;
+  const bb::TypeId type = bb::type_id("poison");
+  {
+    bb::Blackboard board(cfg);
+    board.register_ks({"always_throws",
+                       {type},
+                       [](bb::Blackboard&, std::span<const bb::DataEntry>) {
+                         throw std::runtime_error("poisoned");
+                       }});
+    // Each entry is a pooled view over a pooled block — the exact payload
+    // shape the zero-copy unpacker produces. The throwing operation must
+    // not leak them through the unwind path.
+    for (int i = 0; i < 6; ++i) {
+      BufferRef block = pool.acquire();
+      bb::DataEntry e(type, mem::view_pool().view(block, 0, 64));
+      board.submit_batch({&e, 1});
+      board.drain();
+    }
+    EXPECT_EQ(board.stats().ks_quarantined, 1u);
+    EXPECT_GE(board.stats().jobs_failed, 3u);
+  }
+  // Destructor joined the workers; every pooled block came home even
+  // though some jobs unwound and some were skipped post-quarantine.
+  EXPECT_EQ(pool.stats().released - released0, 6u);
+}
+
+TEST_F(PoolTest, JobPoolServesSteadyStateFromFreeList) {
+  mem::set_pools_enabled(true);
+  bb::BlackboardConfig cfg;
+  cfg.workers = 2;
+  bb::Blackboard board(cfg);
+  const bb::TypeId type = bb::type_id("tick");
+  std::atomic<int> seen{0};
+  board.register_ks({"counter",
+                     {type},
+                     [&seen](bb::Blackboard&, std::span<const bb::DataEntry>) {
+                       seen.fetch_add(1);
+                     }});
+  for (int i = 0; i < 200; ++i) {
+    bb::DataEntry e = bb::DataEntry::of(type, i);
+    board.submit_batch({&e, 1});
+    if (i % 16 == 0) board.drain();
+  }
+  board.drain();
+  EXPECT_EQ(seen.load(), 200);
+  const mem::PoolStats s = board.job_pool_stats();
+  EXPECT_EQ(s.hits + s.misses, 200u);
+  EXPECT_GT(s.hits, s.misses) << "steady state must be free-list hits";
+}
+
+// ---------------------------------------------------------------------
+// ESP_POOL on/off bit-identity: pooling must change no modeled time, no
+// entry order and no payload bytes, so the same seed emits byte-identical
+// reports either way.
+// ---------------------------------------------------------------------
+
+mpi::ProgramMain pingpong(int iters) {
+  return [iters](mpi::ProcEnv& env) {
+    std::vector<std::byte> buf(2048);
+    const int peer = 1 - env.world_rank;
+    for (int i = 0; i < iters; ++i) {
+      if (env.world_rank == 0) {
+        env.world.send(buf.data(), buf.size(), peer, 0);
+        env.world.recv(buf.data(), buf.size(), peer, 0);
+      } else {
+        env.world.recv(buf.data(), buf.size(), peer, 0);
+        env.world.send(buf.data(), buf.size(), peer, 0);
+      }
+    }
+  };
+}
+
+std::string run_session_report(bool pools_on, const std::string& dir) {
+  mem::set_pools_enabled(pools_on);
+  SessionConfig cfg;
+  cfg.output_dir = dir;
+  Session session(cfg);
+  session.add_application("pp", 2, pingpong(50));
+  session.run();
+  mem::set_pools_enabled(true);
+  std::ifstream in(dir + "/report.md", std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST_F(PoolTest, PoolOnOffReportsAreBitIdentical) {
+  const std::string da = testing::TempDir() + "esp_pool_on";
+  const std::string db = testing::TempDir() + "esp_pool_off";
+  const std::string on = run_session_report(true, da);
+  const std::string off = run_session_report(false, db);
+  ASSERT_FALSE(on.empty());
+  EXPECT_EQ(on, off)
+      << "ESP_POOL must not change report bytes for the same seed";
+}
+
+}  // namespace
+}  // namespace esp

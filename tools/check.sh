@@ -5,22 +5,22 @@
 # pass under both build configs. Run from anywhere; builds live in build/
 # and build-sanitize/ at the repo root.
 #
-# Bench-gate knobs (mirrored by .github/workflows/ci.yml):
-#   ESP_BB_BENCH_JSON   output path for the sweep results
-#                       (set automatically below; this is what switches the
-#                       binary from google-benchmark mode to the quick sweep)
-#   ESP_BB_BASELINE     checked-in baseline to compare against
-#                       (default here: bench/BENCH_blackboard.baseline.json)
-#   ESP_BB_MIN_SPEEDUP  hard floor on work-stealing speedup over the paper's
-#                       locked-FIFO scheduler at 8 workers / 4 producers /
-#                       batch 64, measured same-host same-run (default 1.2;
-#                       the gate FAILS below this)
-#   ESP_BB_MAX_DROP     per-cell tolerated drop vs the baseline, as a
-#                       fraction (default 0.20 = 20%)
-#   ESP_BB_GATE         "warn" (default) or "fail": whether a baseline drop
-#                       beyond ESP_BB_MAX_DROP is fatal. Keep "warn" on
-#                       shared/noisy hosts; use "fail" on a dedicated runner.
-#   ESP_BB_JOBS         jobs per sweep cell (default 120000; lower = faster)
+# Bench gating (mirrored by .github/workflows/ci.yml): each ablation bench
+# keeps its *internal* invariant gate in the binary (work-stealing speedup
+# floor, degradation monotonicity, tenancy isolation promise, hotpath
+# zero-allocation assertion) while baseline drift detection for all of them
+# is consolidated in tools/bench_gate.py, which compares the fresh
+# ESP_*_BENCH_JSON output against the checked-in bench/*.baseline.json with
+# per-metric tolerances and writes a machine-readable diff.
+#
+#   ESP_BB_JOBS            jobs per sweep cell (default 120000)
+#   ESP_BENCH_GATE_MODE    override bench_gate.py strictness for every
+#                          bench: "warn" or "fail" (default: per-bench
+#                          policy — deterministic virtual-metric benches
+#                          fail, wall-clock benches warn)
+#   ESP_BENCH_TREND        JSONL file to append each bench's rows to
+#                          (default bench_results/trend.jsonl; CI uploads
+#                          it as the cross-run trend artifact)
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -57,30 +57,30 @@ else
   echo "warning: python3 not found; skipping trace schema check" >&2
 fi
 
-echo "=== blackboard contention sweep + regression gate ==="
-ESP_BB_BENCH_JSON="${ESP_BB_BENCH_JSON:-$repo/BENCH_blackboard.json}" \
-ESP_BB_BASELINE="${ESP_BB_BASELINE:-$repo/bench/BENCH_blackboard.baseline.json}" \
-  "$repo/build/bench/ablation_blackboard"
+# Run one ablation bench (internal invariant gate inside the binary) and
+# then diff its fresh JSON against the checked-in baseline with
+# tools/bench_gate.py. Regenerate the bench/*.baseline.json in the same
+# commit whenever the measurement model intentionally changes.
+trend="${ESP_BENCH_TREND:-$repo/bench_results/trend.jsonl}"
+gate_args=()
+[[ -n "${ESP_BENCH_GATE_MODE:-}" ]] && gate_args+=(--mode "$ESP_BENCH_GATE_MODE")
 
-echo "=== degradation-ladder sweep + regression gate ==="
-# All virtual metrics: deterministic, so the gate compares the committed
-# baseline exactly (ESP_DEGRADE_GATE=warn softens; ESP_DEGRADE_TOL /
-# ESP_DEGRADE_TIME_TOL widen). Regenerate bench/BENCH_degrade.baseline.json
-# in the same commit whenever the measurement model intentionally changes.
-ESP_DEGRADE_BENCH_JSON="${ESP_DEGRADE_BENCH_JSON:-$repo/BENCH_degrade.json}" \
-ESP_DEGRADE_BASELINE="${ESP_DEGRADE_BASELINE:-$repo/bench/BENCH_degrade.baseline.json}" \
-  "$repo/build/bench/ablation_degrade"
+run_bench_gate() {
+  local bench="$1" json_var="$2" binary="$3"
+  echo "=== $bench sweep + internal gate ==="
+  env "$json_var=$repo/BENCH_$bench.json" "$repo/build/bench/$binary"
+  echo "=== $bench baseline gate (bench_gate.py) ==="
+  python3 "$repo/tools/bench_gate.py" --bench "$bench" \
+    --json "$repo/BENCH_$bench.json" \
+    --baseline "$repo/bench/BENCH_$bench.baseline.json" \
+    --diff-out "$repo/BENCH_$bench.diff.json" \
+    --append-trend "$trend" "${gate_args[@]}"
+}
 
-echo "=== tenancy isolation sweep + regression gate ==="
-# Noisy-neighbour ablation of the tenant fabric: a quota'd flood must
-# leave the victim's p99 within ESP_TENANCY_MAX_P99X (default 1.05) of
-# the no-noise run, the unquota'd flood must demonstrably hurt, and the
-# committed baseline gates with saturation-sized tolerances. Regenerate
-# bench/BENCH_tenancy.baseline.json in the same commit whenever the
-# measurement model intentionally changes.
-ESP_TENANCY_BENCH_JSON="${ESP_TENANCY_BENCH_JSON:-$repo/BENCH_tenancy.json}" \
-ESP_TENANCY_BASELINE="${ESP_TENANCY_BASELINE:-$repo/bench/BENCH_tenancy.baseline.json}" \
-  "$repo/build/bench/ablation_tenancy"
+run_bench_gate blackboard ESP_BB_BENCH_JSON ablation_blackboard
+run_bench_gate degrade ESP_DEGRADE_BENCH_JSON ablation_degrade
+run_bench_gate tenancy ESP_TENANCY_BENCH_JSON ablation_tenancy
+run_bench_gate hotpath ESP_HOTPATH_BENCH_JSON ablation_hotpath
 
 echo "=== chaos soak (ASan) ==="
 # Randomized seeded fault campaigns against full sessions, each seed run
