@@ -1,0 +1,220 @@
+/// \file ablation_progress.cpp
+/// \brief Fig-15-style overhead ablation of the opt-in per-node progress
+/// engine: for each NAS workload, the reference walltime, the
+/// instrumented walltime with the engine off, and the instrumented
+/// app-path walltime with the engine on (net of what the engine absorbed
+/// — staging copies and ring-handoff backpressure billed to the node's
+/// progress rank, see net/progress.hpp).
+///
+/// The engine is charge attribution, not reordering: the causal schedule
+/// is pinned, so the *raw* instrumented walltime with the engine on must
+/// match the engine-off run (up to the fluid resource model's
+/// arrival-order jitter) and the event counts must match exactly. What
+/// the engine buys shows up only in the net walltime. Internal gates:
+///
+///   - events identical engine on vs off (exact — pinned schedule);
+///   - raw walltime on-vs-off within ESP_PROGRESS_RAW_TOL (default 2%);
+///   - absorbed > 0 and net walltime strictly below the raw walltime;
+///   - app-path walltime reduction vs the engine-off instrumented run of
+///     at least ESP_PROGRESS_MIN_REDUCTION_PCT percent (default 0.0003 —
+///     small in absolute terms because the NAS skeletons stream little,
+///     but meaningful: the raw on-vs-off schedules match to the last
+///     digit, so the net delta is pure engine absorption, not noise).
+///
+///   ESP_PROGRESS_BENCH_JSON=out.json ./ablation_progress
+///       run the sweep, write one JSON record per workload, gate, exit.
+///
+/// Baseline drift detection lives in tools/bench_gate.py (bench
+/// "progress", baseline bench/BENCH_progress.baseline.json). Without
+/// ESP_PROGRESS_BENCH_JSON, standard google-benchmark micro-benchmarks
+/// over the same sessions (wall-clock, for profiling only).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace esp;
+
+struct Case {
+  nas::Benchmark bench;
+  nas::ProblemClass cls;
+  int nprocs;
+  int iterations;
+};
+
+struct Row {
+  std::string workload;
+  double ref_walltime = 0.0;      ///< Uninstrumented reference.
+  double inst_walltime = 0.0;     ///< Instrumented, engine off.
+  double inst_walltime_on = 0.0;  ///< Instrumented, engine on, raw clock.
+  double net_walltime = 0.0;      ///< Engine on, net of absorption.
+  double absorbed = 0.0;          ///< Engine-absorbed virtual seconds.
+  double reduction_pct = 0.0;     ///< App-path overhead reduction vs off.
+  std::uint64_t events = 0;
+  std::uint64_t events_off = 0;   ///< Must equal `events` (pinned schedule).
+};
+
+Row run_case(const Case& c, const net::MachineConfig& machine) {
+  nas::WorkloadParams p{c.bench, c.cls, 0};
+  const int nprocs = nas::nearest_valid_nprocs(c.bench, c.nprocs);
+
+  net::ProgressConfig off;  // defaults: disabled
+  net::ProgressConfig on = off;
+  on.enabled = true;
+
+  const auto ref = benchutil::run_workload(
+      p, nprocs, baseline::ToolKind::Reference, 1, machine, c.iterations, &off);
+  const auto inst_off = benchutil::run_workload(
+      p, nprocs, baseline::ToolKind::OnlineCoupling, 1, machine, c.iterations,
+      &off);
+  const auto inst_on = benchutil::run_workload(
+      p, nprocs, baseline::ToolKind::OnlineCoupling, 1, machine, c.iterations,
+      &on);
+
+  Row r;
+  r.workload = nas::workload_label(c.bench, c.cls) + "." +
+               std::to_string(nprocs);
+  r.ref_walltime = ref.app_walltime;
+  r.inst_walltime = inst_off.app_walltime;
+  r.inst_walltime_on = inst_on.app_walltime;
+  r.net_walltime = inst_on.app_walltime_net;
+  r.absorbed = inst_on.absorbed;
+  r.events = inst_on.events;
+  r.events_off = inst_off.events;
+  if (inst_off.app_walltime > 0.0)
+    r.reduction_pct = (inst_off.app_walltime - inst_on.app_walltime_net) /
+                      inst_off.app_walltime * 100.0;
+  return r;
+}
+
+double envd(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : fallback;
+}
+
+int run_sweep(const std::string& json_path) {
+  const auto machine = net::MachineConfig::tera100();
+  const std::vector<Case> cases = {
+      {nas::Benchmark::SP, nas::ProblemClass::C, 16, 12},
+      {nas::Benchmark::BT, nas::ProblemClass::C, 16, 12},
+      {nas::Benchmark::LU, nas::ProblemClass::C, 16, 8},
+  };
+
+  std::vector<Row> rows;
+  for (const auto& c : cases) rows.push_back(run_case(c, machine));
+
+  for (const auto& r : rows)
+    std::printf("%-10s ref=%.6f off=%.6f on_raw=%.6f on_net=%.6f "
+                "absorbed=%.6f reduction=%.3f%% events=%llu\n",
+                r.workload.c_str(), r.ref_walltime, r.inst_walltime,
+                r.inst_walltime_on, r.net_walltime, r.absorbed,
+                r.reduction_pct, static_cast<unsigned long long>(r.events));
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  out << "{\n  \"schema\": 1,\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    char buf[384];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"workload\":\"%s\",\"ref_walltime\":%.9f,"
+                  "\"inst_walltime\":%.9f,\"inst_walltime_on\":%.9f,"
+                  "\"net_walltime\":%.9f,\"absorbed\":%.9f,"
+                  "\"reduction_pct\":%.6f,\"events\":%llu}%s\n",
+                  r.workload.c_str(), r.ref_walltime, r.inst_walltime,
+                  r.inst_walltime_on, r.net_walltime, r.absorbed,
+                  r.reduction_pct,
+                  static_cast<unsigned long long>(r.events),
+                  i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::printf("-> %s\n", json_path.c_str());
+
+  // Internal invariant gates (hardware-neutral; see file comment).
+  int rc = 0;
+  const double raw_tol = envd("ESP_PROGRESS_RAW_TOL", 0.02);
+  const double min_reduction = envd("ESP_PROGRESS_MIN_REDUCTION_PCT", 0.0003);
+  for (const auto& r : rows) {
+    if (r.events != r.events_off) {
+      std::fprintf(stderr,
+                   "FAIL: %s events drift on-vs-off (%llu != %llu) — the "
+                   "engine perturbed the schedule\n",
+                   r.workload.c_str(),
+                   static_cast<unsigned long long>(r.events),
+                   static_cast<unsigned long long>(r.events_off));
+      rc = 1;
+    }
+    const double raw_dev =
+        std::abs(r.inst_walltime_on - r.inst_walltime) /
+        std::max(1e-12, r.inst_walltime);
+    if (raw_dev > raw_tol) {
+      std::fprintf(stderr,
+                   "FAIL: %s raw walltime on-vs-off deviates %.2f%% "
+                   "(> %.2f%%) — the engine perturbed the schedule\n",
+                   r.workload.c_str(), raw_dev * 100.0, raw_tol * 100.0);
+      rc = 1;
+    }
+    if (!(r.absorbed > 0.0)) {
+      std::fprintf(stderr, "FAIL: %s absorbed nothing — engine inert\n",
+                   r.workload.c_str());
+      rc = 1;
+    }
+    if (!(r.net_walltime < r.inst_walltime_on)) {
+      std::fprintf(stderr,
+                   "FAIL: %s net walltime %.9f not below raw %.9f\n",
+                   r.workload.c_str(), r.net_walltime, r.inst_walltime_on);
+      rc = 1;
+    }
+    if (r.reduction_pct < min_reduction) {
+      std::fprintf(stderr,
+                   "FAIL: %s app-path reduction %.4f%% below floor %.4f%%\n",
+                   r.workload.c_str(), r.reduction_pct, min_reduction);
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+/// Wall-clock benchmark of one instrumented session per engine mode
+/// (profiling aid; the regression gate uses the JSON mode above).
+void BM_ProgressEngine(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  const auto machine = net::MachineConfig::tera100();
+  net::ProgressConfig pg;
+  pg.enabled = on;
+  double net = 0.0;
+  for (auto _ : state) {
+    nas::WorkloadParams p{nas::Benchmark::SP, nas::ProblemClass::C, 0};
+    const auto run = benchutil::run_workload(
+        p, 16, baseline::ToolKind::OnlineCoupling, 1, machine, 4, &pg);
+    net = run.app_walltime_net;
+  }
+  state.counters["net_walltime"] = benchmark::Counter(net);
+}
+BENCHMARK(BM_ProgressEngine)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json = std::getenv("ESP_PROGRESS_BENCH_JSON");
+  if (json != nullptr && *json != '\0') return run_sweep(json);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,8 +4,23 @@
 /// paper uses ~1 MB), the balance policy, and the runtime's eager
 /// threshold. Each prints the *virtual* completion time of a fixed
 /// coupling, so the numbers compare modelled protocol efficiency.
+///
+///   ESP_STREAM_BENCH_JSON=out.json ./ablation_stream
+///       run the coupling scenarios once each, write one JSON record per
+///       case (virtual walltime only — deterministic up to the fluid
+///       resource model's arrival-order tolerance), exit. Baseline drift
+///       detection lives in tools/bench_gate.py (bench "stream", baseline
+///       bench/BENCH_stream.baseline.json).
+///
+/// Without ESP_STREAM_BENCH_JSON, the google-benchmark sweeps below
+/// (wall-clock, for profiling only).
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "vmpi/stream.hpp"
 
@@ -136,6 +151,90 @@ BENCHMARK(BM_EagerThreshold)
     ->Arg(64 * 1024)
     ->Iterations(4)->Unit(benchmark::kMillisecond);
 
+/// JSON sweep over the same coupling scenarios the micro-benchmarks
+/// exercise, keyed by a stable case name. All walltimes are virtual.
+int run_sweep(const std::string& json_path) {
+  struct CaseRow {
+    std::string name;
+    double app_walltime;
+  };
+  std::vector<CaseRow> rows;
+  for (int n_async : {1, 2, 3, 8})
+    rows.push_back({"nasync" + std::to_string(n_async),
+                    coupling_walltime(8, 2, 256 * 1024, n_async,
+                                      vmpi::BalancePolicy::RoundRobin,
+                                      4u << 20)});
+  for (std::uint64_t block :
+       {std::uint64_t{64} * 1024, std::uint64_t{256} * 1024,
+        std::uint64_t{1} << 20})
+    rows.push_back({"block" + std::to_string(block >> 10) + "k",
+                    coupling_walltime(8, 2, block, 3,
+                                      vmpi::BalancePolicy::RoundRobin,
+                                      4u << 20)});
+  // Fan-out scenario: 2 writers, 8 deliberately slow readers — each
+  // writer owns 4 endpoints, so the balance policy actually matters
+  // (with equal partition sizes every writer has one endpoint and the
+  // policies are topologically identical).
+  const struct {
+    const char* name;
+    vmpi::BalancePolicy policy;
+  } policies[] = {{"fanout_none", vmpi::BalancePolicy::None},
+                  {"fanout_rr", vmpi::BalancePolicy::RoundRobin}};
+  for (const auto& p : policies)
+    rows.push_back({p.name, coupling_walltime(2, 8, 128 * 1024, 3, p.policy,
+                                              2u << 20, 16 * 1024, 200e-6)});
+
+  for (const auto& r : rows)
+    std::printf("%-12s walltime=%.9f\n", r.name.c_str(), r.app_walltime);
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  out << "{\n  \"schema\": 1,\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"case\":\"%s\",\"app_walltime\":%.9f}%s\n",
+                  rows[i].name.c_str(), rows[i].app_walltime,
+                  i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::printf("-> %s\n", json_path.c_str());
+
+  // Internal invariant (hardware-neutral, virtual metric): with 4 slow
+  // endpoints per writer, round-robin spreading must beat pinning every
+  // block on endpoint 0 by a wide margin — the paper's load-balancing
+  // claim (§III-A), on a scenario where the serialization difference
+  // (~4x) towers over the fluid model's arrival-order jitter. The N_A
+  // sweep is *not* gated: in a steady saturated coupling a deeper window
+  // only queues more, so its ordering is scenario-specific.
+  double w_none = 0.0, w_rr = 0.0;
+  for (const auto& r : rows) {
+    if (r.name == "fanout_none") w_none = r.app_walltime;
+    if (r.name == "fanout_rr") w_rr = r.app_walltime;
+  }
+  if (w_rr > w_none * 0.7) {
+    std::fprintf(stderr,
+                 "FAIL: round-robin fan-out not clearly faster than pinned "
+                 "(%.9f vs %.9f)\n",
+                 w_rr, w_none);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* json = std::getenv("ESP_STREAM_BENCH_JSON");
+  if (json != nullptr && *json != '\0') return run_sweep(json);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

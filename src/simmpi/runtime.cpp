@@ -83,6 +83,8 @@ Runtime::Runtime(RuntimeConfig cfg, std::vector<ProgramSpec> programs)
   final_clock_.assign(static_cast<std::size_t>(world_size_), 0.0);
 
   injector_.configure(cfg_.faults, cfg_.seed);
+  progress_lanes_.assign(static_cast<std::size_t>(world_size_),
+                         net::ProgressLane{});
   rank_dead_ = std::make_unique<std::atomic<bool>[]>(
       static_cast<std::size_t>(world_size_));
   rank_done_ = std::make_unique<std::atomic<bool>[]>(
@@ -148,6 +150,24 @@ double Runtime::max_walltime() const {
   return w;
 }
 
+double Runtime::partition_app_walltime(int partition_id) const {
+  const auto& d = partitions_[static_cast<std::size_t>(partition_id)];
+  double w = 0.0;
+  for (int r = d.first_world_rank; r < d.first_world_rank + d.size; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    w = std::max(w, final_clock_[i] - progress_lanes_[i].absorbed);
+  }
+  return w;
+}
+
+double Runtime::partition_absorbed(int partition_id) const {
+  const auto& d = partitions_[static_cast<std::size_t>(partition_id)];
+  double a = 0.0;
+  for (int r = d.first_world_rank; r < d.first_world_rank + d.size; ++r)
+    a += progress_lanes_[static_cast<std::size_t>(r)].absorbed;
+  return a;
+}
+
 std::vector<RankDeath> Runtime::deaths() const {
   std::lock_guard lock(deaths_mu_);
   return deaths_;
@@ -172,6 +192,10 @@ void Runtime::on_rank_crashed(const RankContext& rc, std::uint64_t calls) {
       rc.clock, std::memory_order_release);
   rank_dead_[static_cast<std::size_t>(rc.world_rank)].store(
       true, std::memory_order_release);
+  // Epoch last: an observer that sees the new epoch (acquire) is
+  // guaranteed to re-read the death_time/rank_dead values above, so
+  // epoch-gated lease caches (vmpi::Stream) never act on stale books.
+  death_epoch_.fetch_add(1, std::memory_order_release);
   // Release everyone the dead rank could still block: receivers waiting on
   // it (specific-source recvs in *their* mailboxes) and senders queued or
   // about to queue into *its* mailbox.

@@ -25,6 +25,7 @@
 #include "common/rng.hpp"
 #include "net/fault.hpp"
 #include "net/machine.hpp"
+#include "net/progress.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/mailbox.hpp"
 #include "simmpi/tool.hpp"
@@ -140,6 +141,10 @@ struct RuntimeConfig {
   /// progress (clock or call count) before the session is declared wedged.
   /// Only armed together with watchdog_virtual_deadline.
   double watchdog_stall_seconds = 30.0;
+  /// Opt-in per-node progress engine (see net/progress.hpp): absorbs
+  /// stream serialization off the app path via charge attribution. App
+  /// clocks — and therefore reports — are identical on or off.
+  net::ProgressConfig progress;
 };
 
 class Runtime {
@@ -178,6 +183,13 @@ class Runtime {
   /// Virtual walltime of a partition = max final clock over its ranks.
   double partition_walltime(int partition_id) const;
   double max_walltime() const;
+  /// App-path walltime of a partition with the progress engine's absorbed
+  /// serialization taken off each rank: max over ranks of
+  /// (final clock - absorbed). Equals partition_walltime() when the
+  /// engine is off (every lane's ledger stays zero).
+  double partition_app_walltime(int partition_id) const;
+  /// Total engine-absorbed virtual seconds across a partition's lanes.
+  double partition_absorbed(int partition_id) const;
   /// Ranks that crashed under the fault plan, in death order (post-run,
   /// but safe to call concurrently while ranks are still running).
   std::vector<RankDeath> deaths() const;
@@ -215,6 +227,21 @@ class Runtime {
   double death_time(int world_rank) const noexcept {
     return death_time_[static_cast<std::size_t>(world_rank)].load(
         std::memory_order_acquire);
+  }
+  /// Monotone death-record epoch: bumped (release) after each crash sweep
+  /// published its death_time/rank_dead stores. A reader that cached
+  /// per-peer death knowledge may skip re-scanning while the epoch is
+  /// unchanged — every value it would re-read is provably identical.
+  std::uint64_t death_epoch() const noexcept {
+    return death_epoch_.load(std::memory_order_acquire);
+  }
+  /// This rank's progress-engine ledger (see net/progress.hpp). Written
+  /// only from the owning rank's thread; read post-run or by the owner.
+  net::ProgressLane& progress_lane(int world_rank) noexcept {
+    return progress_lanes_[static_cast<std::size_t>(world_rank)];
+  }
+  const net::ProgressLane& progress_lane(int world_rank) const noexcept {
+    return progress_lanes_[static_cast<std::size_t>(world_rank)];
   }
   /// Publish one rank's progress (called from check_crash on its thread).
   void note_progress(const RankContext& rc) noexcept;
@@ -269,6 +296,8 @@ class Runtime {
   bool ran_ = false;
 
   net::FaultInjector injector_;
+  std::vector<net::ProgressLane> progress_lanes_;
+  std::atomic<std::uint64_t> death_epoch_{0};
   std::unique_ptr<std::atomic<bool>[]> rank_dead_;
   std::unique_ptr<std::atomic<bool>[]> rank_done_;
   std::unique_ptr<std::atomic<double>[]> death_time_;

@@ -38,6 +38,10 @@ struct StreamObs {
   obs::Counter& hb_missed = obs::counter("stream.heartbeats_missed");
   obs::Counter& resent = obs::counter("stream.resent_blocks");
   obs::Counter& failover_joins = obs::counter("stream.failover_joins");
+  obs::Counter& progress_blocks = obs::counter("stream.progress_blocks");
+  obs::Counter& progress_absorbed_ns =
+      obs::counter("stream.progress_absorbed_ns");
+  obs::Counter& progress_refunds = obs::counter("stream.progress_wait_refunds");
   obs::Histogram& out_depth = obs::histogram("stream.out_queue_depth");
 };
 
@@ -210,6 +214,18 @@ void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
       }
     }
     if (failover_armed_) resend_.resize(peers_.size());
+    // Opt-in progress engine: attribute staging-copy and backpressure cost
+    // to this node's progress rank. Pure charge attribution — every clock
+    // the app sees is computed exactly as with the engine off (see
+    // net/progress.hpp); only the Runtime-owned per-rank ledger moves.
+    if (rt_->config().progress.enabled && mpi::Runtime::on_rank_thread()) {
+      const auto& mine = rt_->partition_of_world(env.universe_rank);
+      progress_share_ = Map::progress_share(
+          env.universe_rank, mine.first_world_rank, mine.size,
+          rt_->machine().config().cores_per_node);
+      lane_ = &rt_->progress_lane(mpi::Runtime::self().world_rank);
+      progress_on_ = true;
+    }
     return;
   }
 
@@ -303,6 +319,14 @@ int Stream::acquire_out_buf() {
   out_[oldest].req.reset();
   if (mpi::Runtime::self().clock > t0) {
     ++backpressure_waits_;
+    // With a progress engine the ring handoff decouples the app from send
+    // completion: the wait is refunded to the engine except for the part
+    // where the engine itself is still behind (its frontier past t0).
+    if (progress_on_) {
+      const double refund = net::progress_absorb_wait(
+          *lane_, t0, mpi::Runtime::self().clock);
+      if (refund > 0.0 && obs::enabled()) sobs().progress_refunds.add(1);
+    }
     if (obs::enabled()) {
       sobs().backpressure.add(1);
       obs::trace_span("stream", "stream.backpressure", t0,
@@ -350,8 +374,22 @@ int Stream::write_partial(const void* buf, std::uint64_t bytes) {
     h.crc = block_crc(ob.data->data(), bytes);
     std::memcpy(ob.data->data(), &h, sizeof h);
   }
+  const double t_copy0 = rc.clock;
   rc.clock =
       rt_->machine().local_copy(rt_->core_of(rc.world_rank), bytes, rc.clock);
+  if (progress_on_) {
+    // Bill the staging copy to the node's progress rank: what a dedicated
+    // progress core would have absorbed off the app path, bounded by the
+    // ring depth and the engine's own (shared, deterministic) frontier.
+    const double absorbed = net::progress_absorb_copy(
+        *lane_, rt_->config().progress, t_copy0, rc.clock,
+        rt_->machine().copy_service(bytes), progress_share_);
+    if (absorbed > 0.0 && obs::enabled()) {
+      auto& o = sobs();
+      o.progress_blocks.add(1);
+      o.progress_absorbed_ns.add(static_cast<std::uint64_t>(absorbed * 1e9));
+    }
+  }
   ob.req = universe_.pisend(ob.data->data(), bytes + frame_bytes(), peer,
                             data_tag_);
   if (failover_armed_ && cfg_.resend_window > 0) {
@@ -402,12 +440,45 @@ double Stream::peer_death_time(int peer) const {
 void Stream::check_reader_leases() {
   if (!failover_armed_) return;
   auto& rc = mpi::Runtime::self();
+  // Epoch-gated watermark fast path. With the runtime's death epoch
+  // unchanged since the last full scan, every peer_death_time() is
+  // unchanged too: the oracle (crash_time) is static for the whole run,
+  // and a recorded after_calls death is published strictly *before* the
+  // epoch increment (release/acquire pair in Runtime). So if the clock is
+  // also below the cached earliest deadline, a scan would declare nothing
+  // — skipping it is exactly equivalent, and the per-write cost drops
+  // from O(endpoints) oracle lookups to two loads.
+  const std::uint64_t epoch = rt_->death_epoch();
+  if (epoch == lease_epoch_seen_ && rc.clock < lease_watermark_) return;
+  double wm = std::numeric_limits<double>::infinity();
   for (std::size_t ti = 0; ti < peers_.size(); ++ti) {
-    const int peer = peers_[ti];
-    if (peer < 0) continue;
-    const double t_dead = peer_death_time(peer);
-    if (rc.clock >= t_dead + cfg_.hb_lease) fail_over_endpoint(ti, t_dead);
+    for (;;) {
+      const int peer = peers_[ti];
+      if (peer < 0) break;
+      const double t_dead = peer_death_time(peer);
+      const double deadline = t_dead + cfg_.hb_lease;
+      // Lease boundary is inclusive: at exactly t_dead + hb_lease the
+      // reader is declared dead. The candidate filter in
+      // fail_over_endpoint() uses the same `>=` on the same expression,
+      // so a rank rejected as a replacement here would also have been
+      // declared dead here — the two sites can never disagree about the
+      // boundary instant.
+      if (rc.clock >= deadline) {
+        fail_over_endpoint(ti, t_dead);
+        // The handshake + replay advanced the clock; re-judge the slot's
+        // new peer (pre-filtered to be inside its lease at declaration
+        // time, but possibly expired by the replay cost) before it can
+        // anchor the watermark.
+        continue;
+      }
+      wm = std::min(wm, deadline);
+      break;
+    }
   }
+  // Cache against the *pre-scan* epoch: a death published mid-scan bumps
+  // the epoch past `epoch`, so the next call mismatches and rescans.
+  lease_epoch_seen_ = epoch;
+  lease_watermark_ = wm;
 }
 
 void Stream::fail_over_endpoint(std::size_t ti, double t_dead) {
@@ -452,6 +523,11 @@ void Stream::fail_over_endpoint(std::size_t ti, double t_dead) {
           lease_dead_.end())
         continue;
       if (std::find(peers_.begin(), peers_.end(), r) != peers_.end()) continue;
+      // Boundary audit: `<=` mirrors poll_scheduled_crash (a rank is dead
+      // once clock >= its crash time — the boundary instant is dead), and
+      // the `>=` lease test below matches check_reader_leases() exactly,
+      // so a candidate adopted here can never be one the very next lease
+      // scan would immediately re-declare.
       if (peer_death_time(r) <= rc.clock) continue;  // already dead now
       if (rc.clock >= peer_death_time(r) + cfg_.hb_lease) continue;
       cands.push_back(r);
@@ -695,7 +771,14 @@ int Stream::read(void* buf, int nblocks, int flags) {
   const bool obs_on = obs::enabled();
   const double t_begin = obs_on ? mpi::Runtime::self().clock : 0.0;
   const int r = read_impl(buf, nblocks, flags);
-  if (r == kEagain) ++eagain_returns_;
+  if (r == kEagain) {
+    // Single authoritative accounting site: the stats member and its obs
+    // mirror increment together, so stats().eagain_returns and the
+    // "stream.eagain_returns" counter can never drift apart (they used to
+    // be incremented in two separate branches).
+    ++eagain_returns_;
+    if (obs_on) sobs().eagain.add(1);
+  }
   if (obs_on) {
     auto& o = sobs();
     if (r > 0) {
@@ -703,8 +786,6 @@ int Stream::read(void* buf, int nblocks, int flags) {
       obs::trace_span("stream", "stream.read", t_begin,
                       mpi::Runtime::self().clock,
                       static_cast<std::uint64_t>(r), "blocks");
-    } else if (r == kEagain) {
-      o.eagain.add(1);
     } else if (r == kEpipe) {
       o.epipe.add(1);
     }
@@ -821,10 +902,18 @@ void Stream::close() {
     // *before* end-of-stream so the EOS (and the replayed tail) reach the
     // survivor instead of vanishing into a dead mailbox.
     check_reader_leases();
+    const double t_drain0 = mpi::Runtime::self().clock;
     for (auto& ob : out_) {
       if (!ob.req) continue;
       if (mpi::pwait(ob.req).error != 0) ++writes_failed_;
       ob.req.reset();
+    }
+    // The final in-flight drain is backpressure too: refund what the
+    // engine's frontier had already covered (see acquire_out_buf).
+    if (progress_on_ && mpi::Runtime::self().clock > t_drain0) {
+      const double refund = net::progress_absorb_wait(
+          *lane_, t_drain0, mpi::Runtime::self().clock);
+      if (refund > 0.0 && obs::enabled()) sobs().progress_refunds.add(1);
     }
     if (framed_) {
       // Header-only end-of-stream per endpoint; seq carries the final

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/buffer.hpp"
+#include "net/progress.hpp"
 #include "simmpi/runtime.hpp"
 #include "vmpi/map.hpp"
 
@@ -93,6 +94,14 @@ struct StreamConfig {
   /// Framed copies of the most recent blocks kept per endpoint for replay
   /// after failover; older blocks are unreplayable and become seq-gap
   /// loss on the new link. 0 disables replay entirely.
+  ///
+  /// Retention is exact: write_partial() pushes the new copy first and
+  /// trims with a strictly-greater-than test afterwards, so the ring holds
+  /// exactly min(blocks written on the link, resend_window) entries — a
+  /// full ring evicts back down to `resend_window`, never to
+  /// `resend_window - 1`. FailoverCtl.replayed (and with it the adopted
+  /// link's loss ledger: lost == written - replayed at the window
+  /// boundary) inherits that exact count.
   int resend_window = 4;
   /// Policy for choosing the surviving replacement endpoint.
   MapPolicy remap_policy = MapPolicy::RoundRobin;
@@ -287,6 +296,21 @@ class Stream {
   std::uint64_t failovers_ = 0;
   std::uint64_t heartbeats_missed_ = 0;
   std::uint64_t resent_blocks_ = 0;
+  /// Lease fast path: below this virtual time, and with the runtime's
+  /// death epoch unchanged since the last full scan, no reader lease can
+  /// have expired — check_reader_leases() returns without touching the
+  /// per-peer death books. Only meaningful while
+  /// lease_epoch_seen_ == rt_->death_epoch().
+  double lease_watermark_ = 0.0;
+  std::uint64_t lease_epoch_seen_ = ~std::uint64_t{0};  ///< Forces first scan.
+
+  // Opt-in progress engine (net/progress.hpp): charge-attribution ledger
+  // for the node-level progress rank that drains this writer's send ring.
+  // The app-visible schedule is untouched — lane_ points at a
+  // Runtime-owned ledger written only by this rank's thread.
+  bool progress_on_ = false;
+  int progress_share_ = 1;  ///< Partition siblings sharing this node's slot.
+  net::ProgressLane* lane_ = nullptr;
 
   // Reader side.
   std::vector<InPeer> in_peers_;

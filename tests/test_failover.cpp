@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -19,6 +21,7 @@
 
 #include "core/session.hpp"
 #include "net/fault.hpp"
+#include "vmpi/stream.hpp"
 
 namespace esp {
 namespace {
@@ -281,6 +284,231 @@ TEST(Degrade, LadderStepsDownUnderOverload) {
   // totals cover at least the events that were actually shipped.
   EXPECT_GE(r->total_events + r->loss.events_dropped_estimate,
             totals.events);
+}
+
+// ---------------------------------------------------------------------------
+// Stream-level lease/replay edge cases. Topology in both helpers:
+// writers w0, w1 (world 0, 1) map one-to-one onto readers r0, r1 (world
+// 2, 3); r0 has a scheduled at_time crash, so w0's failover target is r1
+// (its own endpoint set excludes it from being shared). The writer's
+// virtual clock is placed explicitly — legitimate in a virtual-time
+// simulator — to probe the declaration boundary exactly.
+// ---------------------------------------------------------------------------
+
+constexpr double kLeaseDead = 1e-3;   ///< r0's scheduled crash instant.
+constexpr double kLeaseLen = 2e-3;    ///< hb_lease used by both endpoints.
+
+struct LeaseProbe {
+  std::uint64_t failovers_at_probe = ~0ull;  ///< Right after the probed write.
+  std::uint64_t failovers_final = 0;         ///< After close().
+  std::uint64_t replay_announced = ~0ull;    ///< Adopted link, reader side.
+  std::uint64_t adopted_delivered = 0;
+  std::uint64_t adopted_lost = ~0ull;
+};
+
+/// w0 writes `pre_blocks`, jumps its clock to exactly `probe_clock`,
+/// writes once more (the lease scan runs at write entry), then closes.
+/// Where the declaration fired is visible in the replay count: declared
+/// at the probed write => the ring held `pre_blocks`; declared only at
+/// close => the ring also holds the probe block.
+LeaseProbe probe_lease_boundary(double probe_clock, int pre_blocks) {
+  LeaseProbe out;
+  std::atomic<std::uint64_t> at_probe{~0ull}, final_count{0};
+  std::atomic<std::uint64_t> announced{~0ull}, delivered{0}, lost{~0ull};
+  std::vector<mpi::ProgramSpec> progs;
+  progs.push_back(
+      {"w", 2, [&, probe_clock, pre_blocks](mpi::ProcEnv& env) {
+         vmpi::Map m;
+         m.map_partitions(env, env.runtime->partition_by_name("r")->id,
+                          vmpi::MapPolicy::RoundRobin);
+         vmpi::StreamConfig sc;
+         sc.block_size = 4096;
+         sc.n_async = 3;
+         sc.policy = vmpi::BalancePolicy::None;
+         sc.hb_lease = kLeaseLen;
+         vmpi::Stream st(sc);
+         st.open_map(env, m, "w");
+         std::vector<std::byte> block(4096);
+         if (env.world_rank == 0) {
+           for (int b = 0; b < pre_blocks; ++b) st.write(block.data(), 1);
+           // Place the clock at the probed instant; the lease check runs
+           // on entry to the next write, before any cost is charged.
+           mpi::Runtime::self().clock = probe_clock;
+           st.write(block.data(), 1);
+           at_probe.store(st.stats().failovers);
+           st.close();  // re-checks the lease; declares if not yet done
+           final_count.store(st.stats().failovers);
+         } else {
+           st.write(block.data(), 1);
+           st.close();
+         }
+       }});
+  progs.push_back({"r", 2, [&](mpi::ProcEnv& env) {
+                     vmpi::Map m;
+                     m.map_partitions(
+                         env, env.runtime->partition_by_name("w")->id,
+                         vmpi::MapPolicy::RoundRobin);
+                     vmpi::StreamConfig sc;
+                     sc.block_size = 4096;
+                     sc.n_async = 3;
+                     sc.policy = vmpi::BalancePolicy::None;
+                     sc.hb_lease = kLeaseLen;
+                     vmpi::Stream st(sc);
+                     st.open_map(env, m, "r");
+                     std::vector<std::byte> block(4096);
+                     while (st.read(block.data(), 1) > 0) {
+                     }
+                     if (env.world_rank == 1) {
+                       for (const auto& ps : st.peer_stats()) {
+                         if (!ps.failover_join) continue;
+                         announced.store(ps.blocks_replayed);
+                         delivered.store(ps.blocks_delivered);
+                         lost.store(ps.blocks_lost);
+                       }
+                     }
+                   }});
+  mpi::RuntimeConfig cfg;
+  cfg.faults.crashes.push_back({});
+  cfg.faults.crashes.back().world_rank = 2;  // r0
+  cfg.faults.crashes.back().at_time = kLeaseDead;
+  mpi::Runtime rt(cfg, std::move(progs));
+  rt.run();
+  out.failovers_at_probe = at_probe.load();
+  out.failovers_final = final_count.load();
+  out.replay_announced = announced.load();
+  out.adopted_delivered = delivered.load();
+  out.adopted_lost = lost.load();
+  return out;
+}
+
+TEST(FailoverLease, BoundaryIsInclusiveDeclaredExactlyAtDeadline) {
+  // Clock exactly t_dead + hb_lease — the same double expression
+  // check_reader_leases computes from the crash oracle: the inclusive
+  // `>=` must declare at this very write, so only the two pre-blocks
+  // were in the ring when the failover replayed it.
+  const LeaseProbe p = probe_lease_boundary(kLeaseDead + kLeaseLen, 2);
+  EXPECT_EQ(p.failovers_at_probe, 1u);
+  EXPECT_EQ(p.failovers_final, 1u);
+  EXPECT_EQ(p.replay_announced, 2u);
+  // The probe block and the EOS then arrive on the adopted link with
+  // their original sequence numbers: nothing is lost, nothing re-lost.
+  EXPECT_EQ(p.adopted_delivered, 3u);
+  EXPECT_EQ(p.adopted_lost, 0u);
+}
+
+TEST(FailoverLease, OneUlpBelowDeadlineDoesNotDeclare) {
+  // One representable double below the boundary: the probed write must
+  // NOT declare (lease still live), so the probe block joins the resend
+  // ring and close() — whose clock has by then passed the deadline —
+  // replays all three.
+  const LeaseProbe p =
+      probe_lease_boundary(std::nextafter(kLeaseDead + kLeaseLen, 0.0), 2);
+  EXPECT_EQ(p.failovers_at_probe, 0u)
+      << "declaring below the lease deadline breaks the boundary contract";
+  EXPECT_EQ(p.failovers_final, 1u) << "close() must still detect the death";
+  EXPECT_EQ(p.replay_announced, 3u);
+  EXPECT_EQ(p.adopted_delivered, 3u);
+  EXPECT_EQ(p.adopted_lost, 0u);
+}
+
+struct WindowProbe {
+  std::uint64_t resent = 0;               ///< Writer-side replayed count.
+  std::uint64_t replay_announced = ~0ull; ///< FailoverCtl.replayed, reader side.
+  std::uint64_t adopted_delivered = 0;
+  std::uint64_t adopted_lost = ~0ull;
+};
+
+/// w0 writes `w_blocks` while r0 is alive, then sails past the lease and
+/// closes: the failover replays the resend ring. Retention must be exact
+/// — min(w_blocks, window) — so the adopted link's ledger charges exactly
+/// the evicted prefix as lost.
+WindowProbe probe_resend_window(int window, int w_blocks) {
+  WindowProbe out;
+  std::atomic<std::uint64_t> resent{0};
+  std::atomic<std::uint64_t> announced{~0ull}, delivered{0}, lost{~0ull};
+  std::vector<mpi::ProgramSpec> progs;
+  progs.push_back(
+      {"w", 2, [&, window, w_blocks](mpi::ProcEnv& env) {
+         vmpi::Map m;
+         m.map_partitions(env, env.runtime->partition_by_name("r")->id,
+                          vmpi::MapPolicy::RoundRobin);
+         vmpi::StreamConfig sc;
+         sc.block_size = 4096;
+         sc.n_async = 3;
+         sc.policy = vmpi::BalancePolicy::None;
+         sc.hb_lease = kLeaseLen;
+         sc.resend_window = window;
+         vmpi::Stream st(sc);
+         st.open_map(env, m, "w");
+         std::vector<std::byte> block(4096);
+         if (env.world_rank == 0) {
+           for (int b = 0; b < w_blocks; ++b) st.write(block.data(), 1);
+           mpi::compute(5e-3);  // sail past t_dead + hb_lease
+           st.close();          // lease check declares; ring replays
+           resent.store(st.stats().resent_blocks);
+         } else {
+           st.write(block.data(), 1);
+           st.close();
+         }
+       }});
+  progs.push_back({"r", 2, [&](mpi::ProcEnv& env) {
+                     vmpi::Map m;
+                     m.map_partitions(
+                         env, env.runtime->partition_by_name("w")->id,
+                         vmpi::MapPolicy::RoundRobin);
+                     vmpi::StreamConfig sc;
+                     sc.block_size = 4096;
+                     sc.n_async = 3;
+                     sc.policy = vmpi::BalancePolicy::None;
+                     sc.hb_lease = kLeaseLen;
+                     vmpi::Stream st(sc);
+                     st.open_map(env, m, "r");
+                     std::vector<std::byte> block(4096);
+                     while (st.read(block.data(), 1) > 0) {
+                     }
+                     if (env.world_rank == 1) {
+                       for (const auto& ps : st.peer_stats()) {
+                         if (!ps.failover_join) continue;
+                         announced.store(ps.blocks_replayed);
+                         delivered.store(ps.blocks_delivered);
+                         lost.store(ps.blocks_lost);
+                       }
+                     }
+                   }});
+  mpi::RuntimeConfig cfg;
+  cfg.faults.crashes.push_back({});
+  cfg.faults.crashes.back().world_rank = 2;  // r0
+  cfg.faults.crashes.back().at_time = kLeaseDead;
+  mpi::Runtime rt(cfg, std::move(progs));
+  rt.run();
+  out.resent = resent.load();
+  out.replay_announced = announced.load();
+  out.adopted_delivered = delivered.load();
+  out.adopted_lost = lost.load();
+  return out;
+}
+
+TEST(FailoverResendWindow, FullRingRetainsExactlyWindowBlocks) {
+  // Exactly window blocks written: every one is replayable. A trim
+  // off-by-one (evicting down to window - 1) would announce 3 here.
+  const WindowProbe p = probe_resend_window(/*window=*/4, /*w_blocks=*/4);
+  EXPECT_EQ(p.resent, 4u);
+  EXPECT_EQ(p.replay_announced, 4u);
+  EXPECT_EQ(p.adopted_delivered, 4u);
+  EXPECT_EQ(p.adopted_lost, 0u);
+}
+
+TEST(FailoverResendWindow, OverflowEvictsToWindowNeverBelow) {
+  // Six blocks through a 4-deep ring: the two oldest are evicted and
+  // surface as sequence-gap loss on the adopted link; the four newest
+  // replay. FailoverCtl.replayed must say 4, and the ledger must charge
+  // exactly 6 - 4 = 2 — the counts the loss ledger's
+  // "lost == written - replayed" identity depends on.
+  const WindowProbe p = probe_resend_window(/*window=*/4, /*w_blocks=*/6);
+  EXPECT_EQ(p.resent, 4u);
+  EXPECT_EQ(p.replay_announced, 4u);
+  EXPECT_EQ(p.adopted_delivered, 4u);
+  EXPECT_EQ(p.adopted_lost, 2u);
 }
 
 TEST(Session, WatchdogDeadlineKnobIsPlumbedFromEnvironment) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -14,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "vmpi/stream.hpp"
 
 namespace esp {
 namespace {
@@ -81,6 +83,59 @@ TEST(ObsMetrics, SnapshotIsSortedByName) {
   ASSERT_GE(snap.size(), 2u);
   for (std::size_t i = 1; i < snap.size(); ++i)
     EXPECT_LE(snap[i - 1].name, snap[i].name);
+}
+
+/// Regression: stats().eagain_returns and the "stream.eagain_returns"
+/// metric used to be incremented in two separate branches of Stream::read
+/// and could drift (the obs mirror once double-counted). Both now move at
+/// one authoritative site, so their deltas must agree exactly.
+TEST(ObsMetrics, StreamEagainCounterAgreesWithStreamStats) {
+#ifdef ESP_OBS_NO_HOOKS
+  GTEST_SKIP() << "obs hooks compiled out (ESP_OBS_HOOKS=OFF)";
+#else
+  const std::uint64_t before = obs::counter("stream.eagain_returns").value();
+  obs::set_enabled(true, false);
+  std::atomic<std::uint64_t> stream_eagains{0};
+  std::atomic<bool> polled{false};
+  std::vector<mpi::ProgramSpec> progs;
+  progs.push_back({"w", 1, [&](mpi::ProcEnv& env) {
+                     vmpi::Stream st(
+                         {1024, 2, vmpi::BalancePolicy::None});
+                     st.open_peer(env, 1, "w");
+                     while (!polled.load()) {
+                     }
+                     std::vector<std::byte> block(1024);
+                     st.write(block.data(), 1);
+                     st.close();
+                   }});
+  progs.push_back({"r", 1, [&](mpi::ProcEnv& env) {
+                     vmpi::Stream st(
+                         {1024, 2, vmpi::BalancePolicy::None});
+                     st.open_peer(env, 0, "r");
+                     std::vector<std::byte> block(1024);
+                     // Guarantee a handful of kEagain returns before any
+                     // data exists, then drain to end-of-stream (racing a
+                     // few more kEagains on the way).
+                     for (int i = 0; i < 3; ++i)
+                       EXPECT_EQ(st.read(block.data(), 1, vmpi::kNonblock),
+                                 vmpi::kEagain);
+                     polled.store(true);
+                     int r;
+                     do {
+                       r = st.read(block.data(), 1, vmpi::kNonblock);
+                     } while (r == vmpi::kEagain || r > 0);
+                     EXPECT_EQ(r, 0);
+                     stream_eagains.store(st.stats().eagain_returns);
+                   }});
+  mpi::Runtime rt(mpi::RuntimeConfig{}, std::move(progs));
+  rt.run();
+  obs::set_enabled(false, false);
+
+  EXPECT_GE(stream_eagains.load(), 3u);
+  EXPECT_EQ(obs::counter("stream.eagain_returns").value() - before,
+            stream_eagains.load())
+      << "obs mirror and stream stats must count the same returns";
+#endif
 }
 
 TEST(ObsTrace, DisabledHooksAreNoOps) {

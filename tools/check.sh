@@ -81,6 +81,8 @@ run_bench_gate blackboard ESP_BB_BENCH_JSON ablation_blackboard
 run_bench_gate degrade ESP_DEGRADE_BENCH_JSON ablation_degrade
 run_bench_gate tenancy ESP_TENANCY_BENCH_JSON ablation_tenancy
 run_bench_gate hotpath ESP_HOTPATH_BENCH_JSON ablation_hotpath
+run_bench_gate stream ESP_STREAM_BENCH_JSON ablation_stream
+run_bench_gate progress ESP_PROGRESS_BENCH_JSON ablation_progress
 
 echo "=== chaos soak (ASan) ==="
 # Randomized seeded fault campaigns against full sessions, each seed run
