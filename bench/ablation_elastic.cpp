@@ -1,0 +1,179 @@
+/// \file ablation_elastic.cpp
+/// \brief Elastic-membership ablation: what a planned grow or shrink
+/// costs against the fixed-membership baseline. Three scenarios over one
+/// fixed eight-rank shape — static membership, a warm-join grow, and a
+/// drain-and-leave shrink — with the membership counters, the transport
+/// totals, and the application's virtual walltime as the metrics.
+///
+/// Every metric except the walltime is a pure function of the seed and
+/// the schedule (membership transitions are planned, not reactive), so
+/// the gate pins them exactly; the walltime inherits the fluid model's
+/// small host-order jitter and gates with a relative tolerance.
+///
+///   ESP_ELASTIC_BENCH_JSON=out.json ./ablation_elastic
+///       run the scenario sweep, write one JSON record per scenario,
+///       gate the internal invariants, exit. Baseline drift is checked
+///       by tools/bench_gate.py --bench elastic.
+///
+/// Internal invariant gates (always on):
+///   - grow and shrink must actually hand links off (planned_handoffs
+///     > 0), or the scenarios degenerated into static runs;
+///   - planned membership changes are clean by construction: zero loss
+///     ledger and zero crash failovers in every scenario.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace {
+
+using namespace esp;
+
+/// Dead-neighbour-tolerant ring exchange (the workload the failover and
+/// membership tests use).
+mpi::ProgramMain ring(int iters) {
+  return [iters](mpi::ProcEnv& env) {
+    std::vector<std::byte> rbuf(1024), sbuf(1024);
+    const int n = env.world.size();
+    for (int i = 0; i < iters; ++i) {
+      mpi::compute(5e-5);
+      mpi::Request r = env.world.irecv(rbuf.data(), rbuf.size(),
+                                       (env.world_rank + n - 1) % n, 0);
+      env.world.send(sbuf.data(), sbuf.size(), (env.world_rank + 1) % n, 0);
+      mpi::wait(r);
+    }
+  };
+}
+
+struct ScenarioResult {
+  std::string name;
+  std::uint64_t epochs = 0;
+  std::uint64_t joined = 0;
+  std::uint64_t left = 0;
+  std::uint64_t planned_handoffs = 0;
+  std::uint64_t failover_joins = 0;
+  std::uint64_t stream_blocks = 0;   ///< Blocks delivered over app links.
+  std::uint64_t blocks_lost = 0;
+  std::uint64_t total_events = 0;    ///< Events analysed (weighted).
+  double app_walltime = 0.0;         ///< Application virtual walltime.
+};
+
+/// One fixed shape — 8 app ranks, 2 base analyzer members — under three
+/// membership plans: none, grow (+1 spare joining mid-run), shrink
+/// (member 1 draining and leaving mid-run).
+ScenarioResult run_scenario(const std::string& name, int spares,
+                            std::vector<net::ElasticPlan::Event> plan) {
+  SessionConfig cfg;
+  cfg.analyzer_ratio = 4;
+  cfg.instrument.block_size = 4096;
+  cfg.instrument.hb_lease = 5e-4;
+  cfg.instrument.hb_interval = 1e-4;
+  if (spares > 0 || !plan.empty()) {
+    cfg.elastic.enabled = true;
+    cfg.elastic.spares = spares;
+    cfg.elastic.plan = std::move(plan);
+  }
+  Session session(cfg);
+  const int app = session.add_application("ring", 8, ring(600));
+  auto results = session.run();
+
+  ScenarioResult r;
+  r.name = name;
+  r.epochs = results->health.membership_epochs;
+  r.joined = results->health.members_joined;
+  r.left = results->health.members_left;
+  r.planned_handoffs = results->health.planned_handoffs;
+  r.failover_joins = results->health.failover_joins;
+  if (const an::AppResults* a = results->find(app)) {
+    r.stream_blocks = a->telemetry.stream_blocks;
+    r.blocks_lost = a->loss.blocks_lost;
+    r.total_events = a->total_events;
+  }
+  r.app_walltime = session.application_walltime(app);
+  return r;
+}
+
+int run_sweep(const std::string& json_path) {
+  std::vector<ScenarioResult> results;
+  results.push_back(run_scenario("static", 0, {}));
+  results.push_back(
+      run_scenario("grow", 1, {{.at_time = 1.5e-3, .member = 2, .join = true}}));
+  results.push_back(run_scenario(
+      "shrink", 0, {{.at_time = 1.5e-3, .member = 1, .join = false}}));
+  for (const auto& r : results)
+    std::printf("%-8s epochs=%llu joined=%llu left=%llu handoffs=%llu "
+                "blocks=%llu lost=%llu events=%llu walltime=%.6fs\n",
+                r.name.c_str(), static_cast<unsigned long long>(r.epochs),
+                static_cast<unsigned long long>(r.joined),
+                static_cast<unsigned long long>(r.left),
+                static_cast<unsigned long long>(r.planned_handoffs),
+                static_cast<unsigned long long>(r.stream_blocks),
+                static_cast<unsigned long long>(r.blocks_lost),
+                static_cast<unsigned long long>(r.total_events),
+                r.app_walltime);
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 2;
+  }
+  out << "{\n  \"schema\": 1,\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char buf[384];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"scenario\":\"%s\",\"epochs\":%llu,\"joined\":%llu,"
+        "\"left\":%llu,\"planned_handoffs\":%llu,\"failover_joins\":%llu,"
+        "\"stream_blocks\":%llu,\"blocks_lost\":%llu,\"total_events\":%llu,"
+        "\"app_walltime\":%.9f}%s\n",
+        r.name.c_str(), static_cast<unsigned long long>(r.epochs),
+        static_cast<unsigned long long>(r.joined),
+        static_cast<unsigned long long>(r.left),
+        static_cast<unsigned long long>(r.planned_handoffs),
+        static_cast<unsigned long long>(r.failover_joins),
+        static_cast<unsigned long long>(r.stream_blocks),
+        static_cast<unsigned long long>(r.blocks_lost),
+        static_cast<unsigned long long>(r.total_events),
+        r.app_walltime, i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  out.close();
+  std::printf("-> %s\n", json_path.c_str());
+
+  // Internal invariants: the elastic scenarios must actually transition,
+  // and a planned transition is clean by construction.
+  int rc = 0;
+  for (const auto& r : results) {
+    if (r.name != "static" && r.planned_handoffs == 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s scenario handed off no links (membership plan "
+                   "no longer engages)\n",
+                   r.name.c_str());
+      rc = 1;
+    }
+    if (r.blocks_lost != 0 || r.failover_joins != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s scenario charged the crash machinery "
+                   "(lost=%llu failover_joins=%llu) under a planned plan\n",
+                   r.name.c_str(),
+                   static_cast<unsigned long long>(r.blocks_lost),
+                   static_cast<unsigned long long>(r.failover_joins));
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main() {
+  const char* json = std::getenv("ESP_ELASTIC_BENCH_JSON");
+  return run_sweep(json != nullptr && *json != '\0' ? json
+                                                    : "BENCH_elastic.json");
+}

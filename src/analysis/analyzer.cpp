@@ -6,6 +6,7 @@
 #include <optional>
 #include <thread>
 
+#include "analysis/membership.hpp"
 #include "analysis/modules.hpp"
 #include "analysis/modules_ext.hpp"
 #include "analysis/report.hpp"
@@ -45,8 +46,9 @@ struct Reader {
 /// Blob version tag; bumped whenever the reduction wire format changes
 /// ("ESP4" added the per-app telemetry counters; "ESP5" appended failover
 /// telemetry and degradation-ladder accounting; "ESP6" appended the
-/// tenant-fabric shed/job/latency accounting).
-constexpr std::uint32_t kBlobTag = 0x45535036;
+/// tenant-fabric shed/job/latency accounting; "ESP7" appended the elastic
+/// membership planned-handoff count).
+constexpr std::uint32_t kBlobTag = 0x45535037;
 
 std::vector<std::byte> serialize(const AppResults& a) {
   Writer w;
@@ -108,6 +110,8 @@ std::vector<std::byte> serialize(const AppResults& a) {
   w.put(a.tenant.ks_quarantined);
   w.put(a.tenant.latency.count);
   for (std::uint64_t b : a.tenant.latency.bins) w.put(b);
+  // Elastic membership accounting (appended last, "ESP7").
+  w.put(a.telemetry.planned_handoffs);
   return std::move(w.out);
 }
 
@@ -220,6 +224,8 @@ void merge_serialized(AppResults& out, const std::vector<std::byte>& blob) {
   out.tenant.ks_quarantined += r.get<std::uint64_t>();
   out.tenant.latency.count += r.get<std::uint64_t>();
   for (auto& b : out.tenant.latency.bins) b += r.get<std::uint64_t>();
+  // Elastic membership accounting.
+  out.telemetry.planned_handoffs += r.get<std::uint64_t>();
 }
 
 }  // namespace
@@ -285,8 +291,26 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
   // kills neither the report nor the fabric control plane.
   const mpi::Comm& world = env.world;
   const int arank = env.world_rank;
+  // Elastic membership: the same schedule every stream endpoint builds.
+  // Member indexes coincide with partition-relative analyzer ranks (the
+  // session resolves first_world to this partition's first world rank).
+  net::ElasticSchedule elastic;
+  {
+    const net::ElasticPlan& eplan = rt.config().elastic;
+    if (eplan.resolved() && eplan.active())
+      elastic = net::ElasticSchedule(eplan);
+  }
   int root = 0;
-  if (rt.injector().enabled()) {
+  if (elastic.enabled()) {
+    // Membership-aware root rule: initially active, never leaves, no
+    // scheduled crash — shared with the session's fabric wiring.
+    const int m = choose_root(elastic, [&](int member) {
+      return rt.injector().enabled() &&
+             rt.injector().has_crash(elastic.world_of_member(member));
+    });
+    if (m >= 0) root = m;
+  }
+  if (root == 0 && rt.injector().enabled()) {
     for (int a = 0; a < env.partition->size; ++a) {
       if (!rt.injector().has_crash(env.partition->first_world_rank + a)) {
         root = a;
@@ -298,6 +322,23 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
   const bool admission_root = fabric && arank == root;
   std::optional<AdmissionController> admission;
   if (admission_root) admission.emplace(env, cfg.fabric);
+
+  // Warm-join announce: a joining member introduces itself to the
+  // reduction root over the reserved control tag *before* entering its
+  // read loop, so the root's matching receives (issued after its own
+  // loop) can never deadlock. The rebalance itself needs no payload —
+  // it is a pure function of (epoch, active set) computed everywhere.
+  if (elastic.enabled() && arank != root) {
+    for (int e = 1; e < elastic.epoch_count(); ++e) {
+      const auto& ev = elastic.event_opening(e);
+      if (ev.join && ev.member == arank) {
+        MembershipAnnounce ann;
+        ann.member = arank;
+        ann.epoch = e;
+        world.psend(&ann, sizeof ann, root, kMembershipTag);
+      }
+    }
+  }
 
   std::vector<BufferRef> blocks;
   std::vector<bb::DataEntry> batch;
@@ -437,6 +478,7 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
     tel.stream_blocks += ps.blocks_delivered;
     tel.stream_bytes += ps.bytes_delivered;
     if (ps.failover_join) ++tel.failover_joins;
+    if (ps.drain_join) ++tel.planned_handoffs;
     tel.blocks_replayed += ps.blocks_replayed;
   }
 
@@ -528,10 +570,11 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
   // rank).
   const auto bstats = board.stats();
   const auto sstats = stream.stats();
-  std::uint64_t health[8] = {
+  std::uint64_t health[10] = {
       bstats.jobs_failed,   bstats.ks_quarantined, bstats.jobs_executed,
       bstats.jobs_stolen,   bstats.batches_submitted, sstats.blocks_read,
-      sstats.bytes_read,    sstats.eagain_returns};
+      sstats.bytes_read,    sstats.eagain_returns,  sstats.drain_joins,
+      sstats.failover_joins};
   if (arank != root) {
     world.psend(health, sizeof health, root, kReduceTag + 1);
     return;
@@ -545,9 +588,11 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
   session_health.telemetry.blocks_read = health[5];
   session_health.telemetry.bytes_read = health[6];
   session_health.telemetry.eagain_returns = health[7];
+  session_health.planned_handoffs = health[8];
+  session_health.failover_joins = health[9];
   for (int src = 0; src < world.size(); ++src) {
     if (src == arank) continue;
-    std::uint64_t h[8] = {};
+    std::uint64_t h[10] = {};
     if (world.precv(h, sizeof h, src, kReduceTag + 1).error != 0) {
       merge_dead_ranks(session_health.dead_analyzer_ranks, src);
       continue;
@@ -560,6 +605,26 @@ void run_analyzer(mpi::ProcEnv& env, const AnalyzerConfig& cfg) {
     session_health.telemetry.blocks_read += h[5];
     session_health.telemetry.bytes_read += h[6];
     session_health.telemetry.eagain_returns += h[7];
+    session_health.planned_handoffs += h[8];
+    session_health.failover_joins += h[9];
+  }
+  // Membership roll-up: the plan facts every rank shares, plus the joins
+  // that actually announced themselves (a crashed joiner's announce fails
+  // its matching receive cleanly and is simply not counted).
+  if (elastic.enabled()) {
+    session_health.membership_epochs =
+        static_cast<std::uint64_t>(elastic.epoch_count());
+    session_health.members_joined =
+        static_cast<std::uint64_t>(elastic.joins());
+    session_health.members_left =
+        static_cast<std::uint64_t>(elastic.leaves());
+    for (int e = 1; e < elastic.epoch_count(); ++e) {
+      const auto& ev = elastic.event_opening(e);
+      if (!ev.join || ev.member == root) continue;
+      MembershipAnnounce ann;
+      if (world.precv(&ann, sizeof ann, ev.member, kMembershipTag).error == 0)
+        ++session_health.join_announcements;
+    }
   }
   // Fabric roll-up: the admission tallies plus what quota shedding cost
   // the session across all tenants.

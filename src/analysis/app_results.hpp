@@ -112,6 +112,9 @@ struct AppTelemetry {
   std::uint64_t stream_bytes = 0;   ///< Payload bytes delivered.
   std::uint64_t failover_joins = 0;   ///< Links adopted after a reader died.
   std::uint64_t blocks_replayed = 0;  ///< Resend-window blocks replayed onto them.
+  /// Links adopted through planned elastic drain handoffs (clean by
+  /// construction: charge nothing to the loss ledger).
+  std::uint64_t planned_handoffs = 0;
 };
 
 /// Fidelity accounting for one application: how many of its event packs
@@ -217,6 +220,14 @@ struct SessionHealth {
   std::uint64_t tenants_admitted = 0;
   std::uint64_t tenants_rejected = 0;
   std::uint64_t tenant_packs_shed = 0;  ///< Packs dropped by quota shedding.
+
+  // Elastic-membership roll-up (all zero under fixed membership).
+  std::uint64_t membership_epochs = 0;  ///< Epochs in the elastic plan.
+  std::uint64_t members_joined = 0;     ///< Warm-joins scheduled.
+  std::uint64_t members_left = 0;       ///< Drain-and-leaves scheduled.
+  std::uint64_t planned_handoffs = 0;   ///< Drain handoffs adopted (clean).
+  std::uint64_t failover_joins = 0;     ///< Crash handoffs adopted.
+  std::uint64_t join_announcements = 0; ///< Warm-join announces received.
 
   bool degraded() const noexcept {
     return jobs_failed != 0 || ks_quarantined != 0 ||

@@ -139,6 +139,10 @@ void chapter(std::ofstream& md, const AppResults& app,
          << "- blocks replayed from resend windows: "
          << app.telemetry.blocks_replayed << "\n";
     }
+    if (app.telemetry.planned_handoffs != 0) {
+      md << "- links handed off by planned membership drains: "
+         << app.telemetry.planned_handoffs << " (clean — no ledger charge)\n";
+    }
   }
 
   const auto& dg = app.degrade;
@@ -242,6 +246,19 @@ bool write_report(const std::string& output_dir,
          << "- tenants admitted: " << health->tenants_admitted << "\n"
          << "- tenants rejected: " << health->tenants_rejected << "\n"
          << "- packs shed over quota: " << health->tenant_packs_shed << "\n";
+    }
+    if (health->membership_epochs > 1) {
+      md << "\n## Membership\n\n"
+         << "The analyzer partition resized under a planned elastic "
+            "schedule; every transition below is part of the seeded plan, "
+            "not a failure.\n\n"
+         << "- membership epochs: " << health->membership_epochs << "\n"
+         << "- members joined (warm): " << health->members_joined << "\n"
+         << "- members left (drained): " << health->members_left << "\n"
+         << "- planned drain handoffs: " << health->planned_handoffs << "\n"
+         << "- crash failover handoffs: " << health->failover_joins << "\n"
+         << "- join announcements received: "
+         << health->join_announcements << "\n";
     }
 
     const auto& tel = health->telemetry;

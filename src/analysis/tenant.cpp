@@ -39,6 +39,8 @@ std::vector<double> poisson_schedule(std::uint64_t seed, int n,
 AdmissionController::AdmissionController(mpi::ProcEnv& env, FabricConfig cfg)
     : env_(env), cfg_(std::move(cfg)) {
   for (const auto& t : cfg_.tenants) records_[t.app_id] = Record{};
+  const auto& ep = env_.runtime->config().elastic;
+  if (ep.resolved() && ep.active()) elastic_ = net::ElasticSchedule(ep);
 }
 
 std::uint64_t AdmissionController::quota_bytes(const TenantSpec& t) const {
@@ -153,8 +155,10 @@ void AdmissionController::decide(mpi::RankContext& rc) {
     const int app = pending_.front();
     const TenantSpec* spec = cfg_.find(app);
     auto& rec = records_.at(app);
-    const bool unconstrained =
-        cfg_.max_active <= 0 && cfg_.stream_bytes_cap == 0;
+    const bool elastic_cap =
+        cfg_.max_active_per_member > 0 && elastic_.enabled();
+    const bool unconstrained = cfg_.max_active <= 0 &&
+                               cfg_.stream_bytes_cap == 0 && !elastic_cap;
 
     // Occupancy of the already-admitted set at candidate time t:
     //   certain-active:  release known and > t, or rank 0's published
@@ -186,8 +190,16 @@ void AdmissionController::decide(mpi::RankContext& rc) {
       }
       return true;
     };
-    auto fits = [&](int n_active, std::uint64_t bytes_active) {
+    auto fits = [&](double t, int n_active, std::uint64_t bytes_active) {
       if (cfg_.max_active > 0 && n_active >= cfg_.max_active) return false;
+      if (elastic_cap) {
+        // The ceiling scales with the member set active at t: a planned
+        // shrink lowers it (later arrivals re-queue), a warm-join raises
+        // it. Pure function of the elastic schedule, so deterministic.
+        const int members = static_cast<int>(
+            elastic_.active_at(elastic_.epoch_at(t)).size());
+        if (n_active >= cfg_.max_active_per_member * members) return false;
+      }
       if (cfg_.stream_bytes_cap > 0 &&
           bytes_active + (spec ? quota_bytes(*spec) : 0) >
               cfg_.stream_bytes_cap)
@@ -208,8 +220,10 @@ void AdmissionController::decide(mpi::RankContext& rc) {
           decidable = false;
           break;
         }
-        if (fits(n_active, bytes_active)) break;
-        // Saturated at t_admit: advance to the next known release.
+        if (fits(t_admit, n_active, bytes_active)) break;
+        // Saturated at t_admit: advance to the next known release, or —
+        // under an elastic ceiling — the next membership epoch boundary
+        // (a warm-join there may raise the cap).
         double next = kInf;
         for (const auto& tn : cfg_.tenants) {
           if (tn.app_id == app) continue;
@@ -218,6 +232,15 @@ void AdmissionController::decide(mpi::RankContext& rc) {
           if (r.decided && r.admitted && release_known(tn.app_id, &rel) &&
               rel > t_admit)
             next = std::min(next, rel);
+        }
+        if (elastic_cap) {
+          for (int e = 1; e < elastic_.epoch_count(); ++e) {
+            const double bt = elastic_.epoch_time(e);
+            if (bt > t_admit) {
+              next = std::min(next, bt);
+              break;  // epoch times ascend: the first > t_admit is minimal
+            }
+          }
         }
         if (next == kInf) {
           // Saturated by tenants whose releases are not yet known.

@@ -85,6 +85,12 @@ struct FabricConfig {
   /// Reject a queued attach once its admission would be delayed past
   /// arrival + max_admission_delay (virtual seconds); 0 = never reject.
   double max_admission_delay = 0.0;
+  /// > 0 under an elastic membership plan: the concurrent-tenant ceiling
+  /// at any candidate admit time t is this many tenants per analyzer
+  /// member *active at t* (composed with max_active by min). A planned
+  /// shrink therefore re-queues later arrivals deterministically; it
+  /// never evicts an admitted tenant.
+  int max_active_per_member = 0;
   /// Universe rank of the admission root (= the reduce root).
   int root_world = -1;
   std::vector<TenantSpec> tenants;
@@ -212,6 +218,10 @@ class AdmissionController {
 
   mpi::ProcEnv& env_;
   FabricConfig cfg_;
+  /// Membership schedule (disabled outside elastic mode): makes the
+  /// admission ceiling a function of the active member set at the
+  /// candidate admit time.
+  net::ElasticSchedule elastic_;
   std::map<int, Record> records_;
   std::vector<int> pending_;  ///< Attached, undecided app ids.
   std::vector<int> active_;   ///< Admitted, release not yet known.

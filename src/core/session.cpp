@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analysis/membership.hpp"
 #include "common/env.hpp"
 #include "common/io_writers.hpp"
 #include "obs/metrics.hpp"
@@ -75,11 +76,24 @@ std::shared_ptr<an::AnalysisResults> Session::run() {
   tn.default_quota.job_budget = static_cast<std::uint64_t>(env_int(
       "ESP_TENANT_JOBS",
       static_cast<std::int64_t>(tn.default_quota.job_budget)));
+  auto& el = cfg_.elastic;
+  el.enabled = env_flag("ESP_ELASTIC", el.enabled);
+  el.spares = static_cast<int>(env_int("ESP_ELASTIC_SPARES", el.spares));
+  el.auto_per_member =
+      static_cast<int>(env_int("ESP_ELASTIC_AUTO", el.auto_per_member));
+  el.max_active_per_member = static_cast<int>(
+      env_int("ESP_ELASTIC_PERMEMBER", el.max_active_per_member));
+  if (const std::string pt = env_str("ESP_ELASTIC_PLAN", ""); !pt.empty())
+    el.plan = an::parse_elastic_plan(pt);
 
   int total_app_procs = 0;
   for (const auto& a : apps_) total_app_procs += a.nprocs;
-  const int n_analyzer =
+  const int n_analyzer_base =
       std::max(1, total_app_procs / cfg_.analyzer_ratio);
+  const int n_spares = el.enabled ? std::max(0, el.spares) : 0;
+  // Spares ride inside the analyzer partition (launched inactive); the
+  // partition geometry is fixed for the whole run, membership is not.
+  const int n_analyzer = n_analyzer_base + n_spares;
 
   // Resolve analyzer-relative crash entries: the plan author names a rank
   // *within the analyzer partition* (its world ranks depend on the
@@ -97,6 +111,56 @@ std::shared_ptr<an::AnalysisResults> Session::run() {
   acfg.results = results;
   acfg.output_dir = cfg_.output_dir;
 
+  // Tenant arrival times: used by the fabric assembly below and by the
+  // occupancy-derived elastic grow plan. Explicit overrides win over the
+  // seeded Poisson schedule.
+  std::vector<double> arrivals(apps_.size(), 0.0);
+  if (tn.enabled) {
+    std::vector<double> schedule;
+    if (tn.mean_arrival_gap > 0.0)
+      schedule = an::poisson_schedule(cfg_.runtime.seed,
+                                      static_cast<int>(apps_.size()),
+                                      tn.mean_arrival_gap);
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      if (const auto it = tn.arrival.find(static_cast<int>(i));
+          it != tn.arrival.end())
+        arrivals[i] = it->second;
+      else if (!schedule.empty())
+        arrivals[i] = schedule[i];
+    }
+  }
+
+  // ---- Elastic membership plan resolution ------------------------------
+  // Resolved before the fabric: the admission root must be a member that
+  // is initially active and never leaves (the analyzer picks its reduce
+  // root the same way), and the admission ceiling may scale with the
+  // active member count.
+  net::ElasticPlan eplan;
+  net::ElasticSchedule esched;
+  if (el.enabled) {
+    eplan.events = el.plan;
+    eplan.spares = n_spares;
+    if (eplan.events.empty() && el.auto_per_member > 0)
+      eplan.events = an::derive_occupancy_plan(arrivals, el.auto_per_member,
+                                               n_analyzer_base, n_spares);
+    eplan.first_world = total_app_procs;
+    eplan.n_members = n_analyzer;
+    if (eplan.active())
+      esched = net::ElasticSchedule(eplan);  // throws on a bad plan
+    else
+      eplan = net::ElasticPlan{};  // no events, no spares: stay fixed
+  }
+
+  // Crash oracle over the *resolved* fault plan (analyzer-relative
+  // entries were rebased above), shared by root selection here and in
+  // the fabric block.
+  auto crash_scheduled = [&](int world) {
+    if (cfg_.faults.empty()) return false;
+    for (const auto& c : cfg_.faults.crashes)
+      if (!c.analyzer_rank && c.world_rank == world) return true;
+    return false;
+  };
+
   // ---- Tenant fabric assembly -----------------------------------------
   if (tn.enabled) {
     an::FabricConfig fab;
@@ -104,29 +168,29 @@ std::shared_ptr<an::AnalysisResults> Session::run() {
     fab.max_active = tn.max_active;
     fab.stream_bytes_cap = tn.stream_bytes_cap;
     fab.max_admission_delay = tn.max_admission_delay;
-    // Admission root = the analyzer's reduce root: the first analyzer
-    // rank with no crash scheduled. Replicated here from the resolved
-    // fault plan so tenants know whom to attach to before the run.
-    auto crash_scheduled = [&](int world) {
-      if (cfg_.faults.empty()) return false;
-      for (const auto& c : cfg_.faults.crashes)
-        if (!c.analyzer_rank && c.world_rank == world) return true;
-      return false;
-    };
+    fab.max_active_per_member = el.max_active_per_member;
+    // Admission root = the analyzer's reduce root: under an elastic plan
+    // the first initially-active member that never leaves and has no
+    // crash scheduled; otherwise the first analyzer rank with no crash
+    // scheduled. Replicated here from the resolved plans so tenants know
+    // whom to attach to before the run.
     int root_a = 0;
-    for (int a = 0; a < n_analyzer; ++a) {
-      if (!crash_scheduled(total_app_procs + a)) {
-        root_a = a;
-        break;
+    if (esched.enabled()) {
+      const int m = an::choose_root(esched, [&](int member) {
+        return crash_scheduled(esched.world_of_member(member));
+      });
+      if (m >= 0) root_a = m;
+    }
+    if (root_a == 0) {
+      for (int a = 0; a < n_analyzer; ++a) {
+        if (!crash_scheduled(total_app_procs + a)) {
+          root_a = a;
+          break;
+        }
       }
     }
     fab.root_world = total_app_procs + root_a;
 
-    std::vector<double> schedule;
-    if (tn.mean_arrival_gap > 0.0)
-      schedule = an::poisson_schedule(cfg_.runtime.seed,
-                                      static_cast<int>(apps_.size()),
-                                      tn.mean_arrival_gap);
     int first_world = 0;
     for (std::size_t i = 0; i < apps_.size(); ++i) {
       an::TenantSpec ts;
@@ -134,10 +198,7 @@ std::shared_ptr<an::AnalysisResults> Session::run() {
       ts.nprocs = apps_[i].nprocs;
       ts.rank0_world = first_world;
       first_world += apps_[i].nprocs;
-      if (const auto it = tn.arrival.find(ts.app_id); it != tn.arrival.end())
-        ts.arrival = it->second;
-      else if (!schedule.empty())
-        ts.arrival = schedule[i];
+      ts.arrival = arrivals[i];
       if (const auto it = tn.quota.find(ts.app_id); it != tn.quota.end())
         ts.quota = it->second;
       else
@@ -226,6 +287,7 @@ std::shared_ptr<an::AnalysisResults> Session::run() {
   mpi::RuntimeConfig rcfg = cfg_.runtime;
   rcfg.machine = cfg_.machine;
   if (!cfg_.faults.empty()) rcfg.faults = cfg_.faults;
+  if (esched.enabled()) rcfg.elastic = eplan;
   runtime_ = std::make_unique<mpi::Runtime>(rcfg, std::move(progs));
   tool_ = inst::attach_online_instrumentation(*runtime_, cfg_.instrument);
   runtime_->run();

@@ -60,6 +60,29 @@ struct SessionConfig {
     double max_admission_delay = 0.0;       ///< Queue-then-reject horizon.
     bool fair_share = true;  ///< Deficit-style per-tenant board scheduling.
   } tenants;
+
+  /// Elastic-membership options: when enabled, the analyzer partition
+  /// grows and shrinks at planned virtual times. Spares are launched with
+  /// the partition but stay inactive until a `join` event; a `leave`
+  /// event drains the member's streams to successors (clean by
+  /// construction) before it departs. ESP_ELASTIC* environment variables
+  /// override the fields at run() (documented in README.md).
+  struct ElasticOptions {
+    bool enabled = false;
+    /// Extra analyzer ranks launched inactive, available to join events.
+    int spares = 0;
+    /// Explicit membership events; members are analyzer-partition ranks.
+    /// ESP_ELASTIC_PLAN grammar: "join:M@T,leave:M@T,...".
+    std::vector<net::ElasticPlan::Event> plan;
+    /// > 0 and no explicit plan: derive a grow plan from the tenant
+    /// arrival schedule — a spare joins when the number of tenants seen
+    /// exceeds this many per active member.
+    int auto_per_member = 0;
+    /// > 0: the admission ceiling scales with membership — at any
+    /// candidate admit time, at most this many concurrent tenants per
+    /// *active* analyzer member.
+    int max_active_per_member = 0;
+  } elastic;
 };
 
 /// One-stop profiling session. Not reusable: build, add, run once.

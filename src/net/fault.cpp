@@ -1,5 +1,10 @@
 #include "net/fault.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
 #include "common/hash.hpp"
 
 namespace esp::net {
@@ -69,6 +74,101 @@ FaultInjector::Decision FaultInjector::on_message(int src_world, int dst_world,
     }
   }
   return d;
+}
+
+ElasticSchedule::ElasticSchedule(const ElasticPlan& plan) : plan_(plan) {
+  if (!plan.resolved() || !plan.active()) return;  // stays disabled
+  events_ = plan.events;
+  std::sort(events_.begin(), events_.end(),
+            [](const ElasticPlan::Event& a, const ElasticPlan::Event& b) {
+              if (a.at_time != b.at_time) return a.at_time < b.at_time;
+              if (a.member != b.member) return a.member < b.member;
+              return a.join < b.join;
+            });
+
+  // Epoch 0: the base members are active, the trailing `spares` are not.
+  const int base = plan.n_members - plan.spares;
+  if (base <= 0)
+    throw std::invalid_argument("elastic plan: no initially active member");
+  std::vector<bool> up(static_cast<std::size_t>(plan.n_members), false);
+  for (int m = 0; m < base; ++m) up[static_cast<std::size_t>(m)] = true;
+
+  auto snapshot = [&] {
+    std::vector<int> s;
+    for (int m = 0; m < plan.n_members; ++m)
+      if (up[static_cast<std::size_t>(m)]) s.push_back(m);
+    return s;
+  };
+  active_.push_back(snapshot());
+
+  for (const auto& ev : events_) {
+    if (!(ev.at_time > 0.0) || !std::isfinite(ev.at_time))
+      throw std::invalid_argument("elastic plan: event time must be a "
+                                  "finite positive virtual time");
+    if (ev.member < 0 || ev.member >= plan.n_members)
+      throw std::invalid_argument("elastic plan: member " +
+                                  std::to_string(ev.member) +
+                                  " outside the analyzer partition");
+    auto slot = static_cast<std::size_t>(ev.member);
+    if (ev.join) {
+      if (up[slot])
+        throw std::invalid_argument("elastic plan: join of already-active "
+                                    "member " + std::to_string(ev.member));
+      up[slot] = true;
+      ++joins_;
+    } else {
+      if (!up[slot])
+        throw std::invalid_argument("elastic plan: leave of inactive "
+                                    "member " + std::to_string(ev.member));
+      up[slot] = false;
+      ++leaves_;
+    }
+    auto s = snapshot();
+    if (s.empty())
+      throw std::invalid_argument("elastic plan: active set empty after "
+                                  "the event at t=" +
+                                  std::to_string(ev.at_time));
+    active_.push_back(std::move(s));
+  }
+
+  // The reduction root must exist for the whole session: at least one
+  // initially-active member with no scheduled leave.
+  bool rootable = false;
+  for (int m = 0; m < base && !rootable; ++m) rootable = !ever_leaves(m);
+  if (!rootable)
+    throw std::invalid_argument(
+        "elastic plan: every initially active member leaves; no member "
+        "can root the reduction");
+  enabled_ = true;
+}
+
+int ElasticSchedule::epoch_at(double t) const noexcept {
+  if (!enabled_) return 0;
+  // Count of events with at_time <= t: the boundary instant belongs to
+  // the epoch the event opens.
+  const auto it = std::upper_bound(
+      events_.begin(), events_.end(), t,
+      [](double v, const ElasticPlan::Event& e) { return v < e.at_time; });
+  return static_cast<int>(it - events_.begin());
+}
+
+double ElasticSchedule::epoch_time(int epoch) const noexcept {
+  if (epoch <= 0 || static_cast<std::size_t>(epoch) > events_.size())
+    return 0.0;
+  return events_[static_cast<std::size_t>(epoch - 1)].at_time;
+}
+
+bool ElasticSchedule::is_active(int member, int epoch) const noexcept {
+  if (epoch < 0 || static_cast<std::size_t>(epoch) >= active_.size())
+    return false;
+  const auto& s = active_[static_cast<std::size_t>(epoch)];
+  return std::binary_search(s.begin(), s.end(), member);
+}
+
+bool ElasticSchedule::ever_leaves(int member) const noexcept {
+  for (const auto& ev : events_)
+    if (!ev.join && ev.member == member) return true;
+  return false;
 }
 
 double FaultInjector::crash_time(int world_rank) const noexcept {

@@ -80,6 +80,100 @@ struct FaultPlan {
   bool empty() const noexcept { return crashes.empty() && links.empty(); }
 };
 
+/// Planned elastic-membership schedule for the analyzer partition: the
+/// same declarative shape as FaultPlan, but the events are *planned*
+/// grow/shrink transitions, not failures. A leave is a drain-and-leave
+/// (handoff with resend-ring replay, zero loss for a clean drain); a join
+/// is a warm-join (writers re-route new packs at the epoch boundary).
+///
+/// Member indexes are analyzer-partition-relative — the plan author does
+/// not know the analyzer's world ranks, which depend on the application
+/// mix. The session resolves the plan (fills `first_world`/`n_members`)
+/// before configuring the runtime, exactly like RankCrash.analyzer_rank.
+struct ElasticPlan {
+  struct Event {
+    double at_time = 0.0;  ///< Virtual time of the epoch boundary.
+    int member = -1;       ///< Analyzer-partition-relative member index.
+    bool join = true;      ///< true = warm-join; false = drain-and-leave.
+  };
+
+  std::vector<Event> events;
+  /// Extra analyzer ranks launched *inactive* (no initial endpoints);
+  /// joins activate them. Counted inside `n_members` once resolved.
+  int spares = 0;
+
+  // Resolved by the session before the runtime is configured:
+  int first_world = -1;  ///< World rank of analyzer member 0.
+  int n_members = 0;     ///< Total analyzer ranks (base + spares).
+
+  bool resolved() const noexcept { return first_world >= 0 && n_members > 0; }
+  bool active() const noexcept { return !events.empty() || spares > 0; }
+  bool empty() const noexcept { return events.empty() && spares == 0; }
+};
+
+/// Validated, queryable form of an ElasticPlan: the per-epoch active
+/// member sets, precomputed once so every membership decision is a pure
+/// O(log) lookup on (virtual time) -> (epoch) -> (active set). Both
+/// stream endpoints build the same schedule from the same resolved plan,
+/// so their epoch transitions agree bit-exactly.
+class ElasticSchedule {
+ public:
+  ElasticSchedule() = default;
+  /// Throws std::invalid_argument on an inconsistent plan (out-of-range
+  /// member, join of an already-active member, leave of an inactive one,
+  /// an epoch with no active member, or no initially-active member that
+  /// stays for the whole run — the reduction needs a stable root).
+  explicit ElasticSchedule(const ElasticPlan& plan);
+
+  bool enabled() const noexcept { return enabled_; }
+  int n_members() const noexcept { return plan_.n_members; }
+  int first_world() const noexcept { return plan_.first_world; }
+
+  /// Epochs are numbered 0..epoch_count()-1; each event opens a new one.
+  int epoch_count() const noexcept { return static_cast<int>(active_.size()); }
+  /// Epoch in effect at virtual time `t` (boundaries are inclusive: the
+  /// event at `at_time` belongs to the epoch it opens).
+  int epoch_at(double t) const noexcept;
+  /// Virtual time at which `epoch` opened (0 for epoch 0).
+  double epoch_time(int epoch) const noexcept;
+  /// The event that opened `epoch` (epoch >= 1).
+  const ElasticPlan::Event& event_opening(int epoch) const {
+    return events_[static_cast<std::size_t>(epoch - 1)];
+  }
+
+  /// Active member indexes during `epoch`, ascending.
+  const std::vector<int>& active_at(int epoch) const {
+    return active_[static_cast<std::size_t>(epoch)];
+  }
+  bool is_active(int member, int epoch) const noexcept;
+
+  int member_of_world(int world) const noexcept {
+    const int m = world - plan_.first_world;
+    return m >= 0 && m < plan_.n_members ? m : -1;
+  }
+  int world_of_member(int member) const noexcept {
+    return plan_.first_world + member;
+  }
+  bool contains_world(int world) const noexcept {
+    return member_of_world(world) >= 0;
+  }
+
+  int joins() const noexcept { return joins_; }
+  int leaves() const noexcept { return leaves_; }
+  /// True when `member` has any scheduled leave — such a member must not
+  /// be chosen as reduction root or crash-failover successor for streams
+  /// that outlive its tenure.
+  bool ever_leaves(int member) const noexcept;
+
+ private:
+  bool enabled_ = false;
+  ElasticPlan plan_;
+  std::vector<ElasticPlan::Event> events_;  ///< Sorted (at_time, member).
+  std::vector<std::vector<int>> active_;    ///< Per-epoch active sets.
+  int joins_ = 0;
+  int leaves_ = 0;
+};
+
 /// Aggregate injection counters (diagnostics; read after run()).
 struct FaultStats {
   std::uint64_t messages_dropped = 0;

@@ -145,6 +145,10 @@ struct RuntimeConfig {
   /// stream serialization off the app path via charge attribution. App
   /// clocks — and therefore reports — are identical on or off.
   net::ProgressConfig progress;
+  /// Planned elastic membership for the analyzer partition (resolved by
+  /// the session; empty = fixed membership). Both stream endpoints read
+  /// it from here so their epoch transitions agree bit-exactly.
+  net::ElasticPlan elastic;
 };
 
 class Runtime {

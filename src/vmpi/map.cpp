@@ -30,7 +30,7 @@ int local_policy_target(MapPolicy policy, int slave_index, int n_slave,
 
 int Map::failover_target(MapPolicy policy, std::uint64_t seed,
                          int writer_universe_rank, int dead_universe_rank,
-                         const std::vector<int>& candidates) {
+                         const std::vector<int>& candidates, int epoch) {
   if (candidates.empty()) return -1;
   const auto n = candidates.size();
   std::size_t idx;
@@ -38,22 +38,63 @@ int Map::failover_target(MapPolicy policy, std::uint64_t seed,
     case MapPolicy::RoundRobin:
     case MapPolicy::Fixed:
       // Writers that shared the dead endpoint fan out over the survivors
-      // instead of stampeding onto one of them.
-      idx = static_cast<std::size_t>(writer_universe_rank) % n;
+      // instead of stampeding onto one of them. The stream's membership
+      // epoch shifts the fan-out so a departed-and-rejoined slot never
+      // inherits its own previous-epoch links (epoch 0 is the historical
+      // fixed-membership choice).
+      idx = static_cast<std::size_t>(writer_universe_rank + epoch) % n;
       break;
     default: {
       // Random/User re-map: hashed like the pivot's Random policy so the
       // choice is seed-stable and needs no pivot round-trip mid-failure.
-      const std::uint64_t h = esp::hash_combine(
+      std::uint64_t h = esp::hash_combine(
           esp::hash_combine(seed,
                             mix64(static_cast<std::uint64_t>(
                                 writer_universe_rank + 1))),
           mix64(static_cast<std::uint64_t>(dead_universe_rank + 1)));
+      if (epoch != 0)
+        h = esp::hash_combine(h, mix64(static_cast<std::uint64_t>(epoch)));
       idx = static_cast<std::size_t>(mix64(h) % n);
       break;
     }
   }
   return candidates[idx];
+}
+
+int Map::elastic_route(MapPolicy policy, std::uint64_t seed,
+                       int writer_universe_rank, int epoch,
+                       const std::vector<int>& active_members) {
+  if (active_members.empty()) return -1;
+  const auto n = active_members.size();
+  switch (policy) {
+    case MapPolicy::RoundRobin:
+    case MapPolicy::Fixed:
+      // Per-epoch rotation of the writer's slot over the active set:
+      // every epoch boundary reshuffles deterministically, spreading the
+      // re-route churn evenly instead of always moving the same writers.
+      return active_members[static_cast<std::size_t>(
+                                writer_universe_rank + epoch) %
+                            n];
+    default: {
+      // Rendezvous (highest-random-weight) hashing: each (writer, member)
+      // pair gets a seed-stable weight and the writer follows the argmax
+      // among the *currently active* members — a join or leave only moves
+      // the streams whose argmax changed.
+      int best = active_members[0];
+      std::uint64_t best_w = 0;
+      for (const int m : active_members) {
+        const std::uint64_t w = mix64(esp::hash_combine(
+            esp::hash_combine(seed, mix64(static_cast<std::uint64_t>(
+                                        writer_universe_rank + 1))),
+            mix64(static_cast<std::uint64_t>(m + 1))));
+        if (w >= best_w) {
+          best_w = w;
+          best = m;
+        }
+      }
+      return best;
+    }
+  }
 }
 
 int Map::progress_node_of(int universe_rank, int cores_per_node) {

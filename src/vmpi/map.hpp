@@ -66,10 +66,31 @@ class Map {
   /// RoundRobin/Fixed spread writers over survivors by writer rank;
   /// Random/User hash (seed, writer, dead peer). Returns -1 when
   /// `candidates` is empty (total partition loss).
+  ///
+  /// `epoch` is the elastic-membership epoch of the *stream*, not of the
+  /// clock: a node that left and later re-joined lives in a new epoch, so
+  /// mixing the stream's epoch into the choice keeps it from ever being
+  /// selected as successor for links it held before leaving (the caller
+  /// additionally filters candidates by the active set). Epoch 0 — fixed
+  /// membership — reproduces the historical choice bit-exactly.
   static int failover_target(MapPolicy policy, std::uint64_t seed,
                              int writer_universe_rank,
                              int dead_universe_rank,
-                             const std::vector<int>& candidates);
+                             const std::vector<int>& candidates,
+                             int epoch = 0);
+
+  /// Elastic-membership route: which active member should carry writer
+  /// `writer_universe_rank`'s stream during `epoch`. A pure function of
+  /// (policy, seed, writer, epoch, active set) — the deterministic
+  /// map-rebalance delta of a membership change: every writer and every
+  /// reader evaluate it independently and agree without communication.
+  /// RoundRobin/Fixed rotate the writer's slot across the active set per
+  /// epoch; Random/User use rendezvous hashing over the members so a
+  /// single join/leave only moves the streams it must. Returns -1 when
+  /// `active_members` is empty.
+  static int elastic_route(MapPolicy policy, std::uint64_t seed,
+                           int writer_universe_rank, int epoch,
+                           const std::vector<int>& active_members);
 
   /// Progress-engine topology: the machine-model node hosting
   /// `universe_rank` (block placement, world rank r on global core r).

@@ -38,6 +38,8 @@ struct StreamObs {
   obs::Counter& hb_missed = obs::counter("stream.heartbeats_missed");
   obs::Counter& resent = obs::counter("stream.resent_blocks");
   obs::Counter& failover_joins = obs::counter("stream.failover_joins");
+  obs::Counter& planned_handoffs = obs::counter("stream.planned_handoffs");
+  obs::Counter& drain_joins = obs::counter("stream.drain_joins");
   obs::Counter& progress_blocks = obs::counter("stream.progress_blocks");
   obs::Counter& progress_absorbed_ns =
       obs::counter("stream.progress_absorbed_ns");
@@ -72,10 +74,21 @@ struct StreamCtl {
 /// blocks about to follow (original sequence numbers baked into their
 /// frames, so the new link's seq-gap accounting charges exactly the
 /// unreplayable prefix to the loss ledger).
+///
+/// Elastic membership rides the same handshake: a planned drain handoff
+/// sets `drain` (the successor starts clean at resume_seq, nothing
+/// replayed, nothing charged), and `base_seq` carries the first sequence
+/// number the current holder is accountable for — a later *crash*
+/// successor charges its ledger only from there, because everything
+/// below it was analyzed by live previous holders. Fixed-membership runs
+/// leave both fields zero, reproducing the historical wire behavior.
 struct FailoverCtl {
   StreamCtl ctl;
   std::uint64_t resume_seq = 0;
   std::uint64_t replayed = 0;
+  std::uint64_t base_seq = 0;
+  std::uint32_t drain = 0;
+  std::uint32_t pad = 0;
 };
 
 /// On-wire block framing. The CRC covers everything after the crc field
@@ -183,6 +196,34 @@ void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
     // (same predicate, same config — the endpoints always agree).
     framed_ = rt_->config().payload_copy_cap >=
               cfg_.block_size + sizeof(BlockHeader);
+    // Elastic membership: an endpoint inside the elastic partition follows
+    // Map::elastic_route per epoch instead of the static map (route and
+    // map may disagree even at epoch 0 — the reader enumerates its
+    // writers by the route, so both sides agree by construction). Framing
+    // is required: handoffs ride the failover handshake and its sequence
+    // accounting.
+    const net::ElasticPlan& eplan = rt_->config().elastic;
+    if (eplan.resolved() && eplan.active() && framed_) {
+      net::ElasticSchedule sched(eplan);
+      int elastic_endpoints = 0;
+      for (int peer : peers_)
+        if (sched.contains_world(peer)) ++elastic_endpoints;
+      if (elastic_endpoints > 1)
+        throw std::invalid_argument(
+            "elastic membership supports one endpoint per stream in the "
+            "elastic partition");
+      if (elastic_endpoints == 1 && sched.enabled()) {
+        elastic_ = std::move(sched);
+        elastic_armed_ = true;
+        std::vector<int> active;
+        for (const int m : elastic_.active_at(0))
+          active.push_back(elastic_.world_of_member(m));
+        for (int& peer : peers_)
+          if (elastic_.contains_world(peer))
+            peer = Map::elastic_route(cfg_.remap_policy, rt_->config().seed,
+                                      env.universe_rank, 0, active);
+      }
+    }
     // Tag allocation must be a pure function of (rank, open index): a
     // shared first-come-first-served counter would make the tag — and
     // with it the fault injector's per-message hash — depend on thread
@@ -212,8 +253,23 @@ void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
           break;
         }
       }
+      // With elastic membership the endpoint can migrate onto *any*
+      // member, so a crash scheduled anywhere in the elastic partition
+      // must arm the lease machinery even if the epoch-0 holder is safe.
+      if (!failover_armed_ && elastic_armed_) {
+        for (int m = 0; m < elastic_.n_members(); ++m) {
+          if (rt_->injector().has_crash(elastic_.world_of_member(m))) {
+            failover_armed_ = true;
+            break;
+          }
+        }
+      }
     }
-    if (failover_armed_) resend_.resize(peers_.size());
+    if (failover_armed_ || elastic_armed_) resend_.resize(peers_.size());
+    if (elastic_armed_) {
+      prior_holders_.resize(peers_.size());
+      replay_base_.assign(peers_.size(), 0);
+    }
     // Opt-in progress engine: attribute staging-copy and backpressure cost
     // to this node's progress rank. Pure charge attribution — every clock
     // the app sees is computed exactly as with the engine off (see
@@ -231,8 +287,47 @@ void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
 
   // Reader: one handshake per expected incoming stream, then pre-post the
   // N_A receive buffers per peer so arrivals always land in a buffer.
+  //
+  // An elastic member ignores the static map and enumerates its writers
+  // by the epoch-0 route — the same pure function the writers applied to
+  // their endpoints — so both sides agree on the initial topology without
+  // communication. Framing is judged from this reader's own configured
+  // block size (elastic mode requires both sides to share the stream
+  // geometry, which the fabric guarantees); a spare member simply starts
+  // with zero links and lives off drain handoffs.
+  std::vector<int> sources = map.peers();
+  {
+    const net::ElasticPlan& eplan = rt_->config().elastic;
+    const bool would_frame = rt_->config().payload_copy_cap >=
+                             cfg_.block_size + sizeof(BlockHeader);
+    if (eplan.resolved() && eplan.active() && would_frame) {
+      net::ElasticSchedule sched(eplan);
+      if (sched.enabled() && sched.contains_world(env.universe_rank)) {
+        elastic_ = std::move(sched);
+        elastic_reader_ = true;
+        // Framing is known from this reader's own geometry — a spare with
+        // zero initial links (no StreamCtl to learn it from) must still
+        // arm the hold-open below and parse adopted links' headers.
+        framed_ = true;
+        std::vector<int> active;
+        for (const int m : elastic_.active_at(0))
+          active.push_back(elastic_.world_of_member(m));
+        sources.clear();
+        const auto& mine = rt_->partition_of_world(env.universe_rank);
+        for (const auto& part : rt_->partitions()) {
+          if (part.id == mine.id) continue;
+          for (int w = part.first_world_rank;
+               w < part.first_world_rank + part.size; ++w) {
+            if (Map::elastic_route(cfg_.remap_policy, rt_->config().seed, w,
+                                   0, active) == env.universe_rank)
+              sources.push_back(w);
+          }
+        }
+      }
+    }
+  }
   bool adopted = false;
-  for (int peer : map.peers()) {
+  for (int peer : sources) {
     StreamCtl ctl;
     mpi::Status st = universe_.precv(&ctl, sizeof ctl, peer, kStreamCtlTag);
     if (st.error != 0) {
@@ -248,6 +343,7 @@ void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
       throw std::runtime_error("writers disagree on block size");
     cfg_.block_size = ctl.block_size;
     adopted = true;
+    geom_adopted_ = true;
     framed_ = rt_->config().payload_copy_cap >=
               cfg_.block_size + sizeof(BlockHeader);
     InPeer ip;
@@ -261,7 +357,8 @@ void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
     }
     in_peers_.push_back(std::move(ip));
   }
-  if (in_peers_.empty()) throw std::invalid_argument("reader has no endpoint");
+  if (in_peers_.empty() && !elastic_reader_)
+    throw std::invalid_argument("reader has no endpoint");
   // A reader must hold the stream open past its own end-of-stream while a
   // sibling of its partition can still die: writers re-route the dead
   // sibling's endpoints here, and the adopted links arrive *after* this
@@ -276,10 +373,15 @@ void Stream::open_map(mpi::ProcEnv& env, const Map& map, const char* mode) {
         break;
       }
     }
-    if (failover_possible_) {
-      for (int r = 0; r < rt_->world_size(); ++r)
-        if (!mine.contains_world(r)) grace_ranks_.push_back(r);
-    }
+  }
+  // An elastic member holds the stream open for drain handoffs even in a
+  // fault-free run: epoch boundaries re-route links here at any time
+  // until every writer finished.
+  if (elastic_reader_ && framed_) failover_possible_ = true;
+  if (failover_possible_ && grace_ranks_.empty()) {
+    const auto& mine = rt_->partition_of_world(env.universe_rank);
+    for (int r = 0; r < rt_->world_size(); ++r)
+      if (!mine.contains_world(r)) grace_ranks_.push_back(r);
   }
 }
 
@@ -352,6 +454,7 @@ int Stream::write_partial(const void* buf, std::uint64_t bytes) {
   auto& rc = mpi::Runtime::self();
   const double t_begin = rc.clock;
   check_reader_leases();
+  if (elastic_armed_) check_elastic_epoch();
   const std::size_t ti = static_cast<std::size_t>(next_target());
   const int peer = peers_[ti];
   if (peer < 0) {
@@ -392,7 +495,7 @@ int Stream::write_partial(const void* buf, std::uint64_t bytes) {
   }
   ob.req = universe_.pisend(ob.data->data(), bytes + frame_bytes(), peer,
                             data_tag_);
-  if (failover_armed_ && cfg_.resend_window > 0) {
+  if ((failover_armed_ || elastic_armed_) && cfg_.resend_window > 0) {
     // Keep a framed copy for replay after a failover; blocks evicted from
     // the ring are unreplayable and will surface as seq-gap loss.
     auto& ring = resend_[ti];
@@ -530,10 +633,23 @@ void Stream::fail_over_endpoint(std::size_t ti, double t_dead) {
       // scan would immediately re-declare.
       if (peer_death_time(r) <= rc.clock) continue;  // already dead now
       if (rc.clock >= peer_death_time(r) + cfg_.hb_lease) continue;
+      if (elastic_armed_) {
+        // Membership-aware: only currently-active members may adopt, and
+        // a rank that held this link in an earlier epoch never re-adopts
+        // it — its partials already cover those sequence ranges, so
+        // handing the link back would double-analyze the replayed tail.
+        const int m = elastic_.member_of_world(r);
+        if (m >= 0 && !elastic_.is_active(m, elastic_.epoch_at(rc.clock)))
+          continue;
+        if (std::find(prior_holders_[ti].begin(), prior_holders_[ti].end(),
+                      r) != prior_holders_[ti].end())
+          continue;
+      }
       cands.push_back(r);
     }
     const int target = Map::failover_target(
-        cfg_.remap_policy, rt_->config().seed, rc.world_rank, dead, cands);
+        cfg_.remap_policy, rt_->config().seed, rc.world_rank, dead, cands,
+        elastic_armed_ ? elastic_.epoch_at(rc.clock) : 0);
     if (target < 0) {
       // Total partition loss: the endpoint becomes a dead end; further
       // writes to it are counted failed.
@@ -544,6 +660,7 @@ void Stream::fail_over_endpoint(std::size_t ti, double t_dead) {
     fc.ctl = StreamCtl{data_tag_, cfg_.block_size, cfg_.n_async};
     fc.resume_seq = out_seq_[ti];
     fc.replayed = resend_[ti].size();
+    if (elastic_armed_) fc.base_seq = replay_base_[ti];
     universe_.psend(&fc, sizeof fc, target, kStreamFailoverTag);
     // Replay the unacknowledged tail. Original sequence numbers are baked
     // into the frames, so the new link's gap accounting charges exactly
@@ -577,8 +694,83 @@ void Stream::fail_over_endpoint(std::size_t ti, double t_dead) {
                     static_cast<std::uint64_t>(resend_[ti].size()), "blocks");
 }
 
-void Stream::accept_failover_joins() {
+void Stream::check_elastic_epoch() {
   auto& rc = mpi::Runtime::self();
+  const int now = elastic_.epoch_at(rc.clock);
+  if (now == elastic_epoch_) return;
+  elastic_epoch_ = now;
+  std::vector<int> active;
+  for (const int m : elastic_.active_at(now))
+    active.push_back(elastic_.world_of_member(m));
+  for (std::size_t ti = 0; ti < peers_.size(); ++ti) {
+    const int old = peers_[ti];
+    if (old < 0 || !elastic_.contains_world(old)) continue;
+    const int want = Map::elastic_route(cfg_.remap_policy, rt_->config().seed,
+                                        rc.world_rank, now, active);
+    if (want < 0 || want == old) continue;
+    // A holder the oracle already declares dead cannot acknowledge a
+    // drain — its partial analysis died with it — so the handoff must be
+    // the crash kind: ledger charged, ring replayed. (The lease scan may
+    // not have fired yet; the epoch boundary is just an earlier trigger.)
+    if (peer_death_time(old) <= rc.clock) {
+      fail_over_endpoint(ti, peer_death_time(old));
+      continue;
+    }
+    drain_handoff(ti, want);
+  }
+}
+
+void Stream::drain_handoff(std::size_t ti, int want) {
+  auto& rc = mpi::Runtime::self();
+  const int old = peers_[ti];
+  // Per-link FIFO: every in-flight block of this endpoint is delivered
+  // before this header-only drain end-of-stream, whose seq equals the
+  // link's final block count — the old holder sees a clean close with a
+  // zero sequence gap.
+  BlockHeader h;
+  h.magic = kBlockMagic;
+  h.seq = out_seq_[ti];
+  h.payload = 0;
+  h.crc = crc32(reinterpret_cast<const std::byte*>(&h) + kCrcOffset,
+                sizeof h - kCrcOffset);
+  universe_.psend(&h, sizeof h, old, data_tag_);
+  // The old holder is live and analyzes everything delivered so far;
+  // replaying any of it to the successor would double-count. Advance the
+  // accountability base instead: a later *crash* successor charges its
+  // ledger only from here.
+  resend_[ti].clear();
+  replay_base_[ti] = out_seq_[ti];
+  prior_holders_[ti].push_back(old);
+  FailoverCtl fc;
+  fc.ctl = StreamCtl{data_tag_, cfg_.block_size, cfg_.n_async};
+  fc.resume_seq = out_seq_[ti];
+  fc.replayed = 0;
+  fc.base_seq = replay_base_[ti];
+  fc.drain = 1;
+  universe_.psend(&fc, sizeof fc, want, kStreamFailoverTag);
+  peers_[ti] = want;
+  ++planned_handoffs_;
+  if (obs::enabled()) {
+    sobs().planned_handoffs.add(1);
+    obs::trace_instant("stream", "stream.drain_handoff", rc.clock);
+  }
+}
+
+bool Stream::accept_failover_joins() {
+  auto& rc = mpi::Runtime::self();
+  bool any = false;
+  // Retry handshakes deferred behind a still-live previous incarnation of
+  // the same link (its drain end-of-stream must be consumed first).
+  if (!pending_joins_.empty()) {
+    std::vector<FailoverHello> still;
+    for (const auto& hello : pending_joins_) {
+      if (adopt_join(hello))
+        any = true;
+      else
+        still.push_back(hello);
+    }
+    pending_joins_.swap(still);
+  }
   std::uint64_t bytes = 0;
   int src = -1;
   int tag = -1;
@@ -588,32 +780,100 @@ void Stream::accept_failover_joins() {
     FailoverCtl fc;
     if (universe_.precv(&fc, sizeof fc, src, kStreamFailoverTag).error != 0)
       break;  // the adopting writer died mid-handshake
+    if (!geom_adopted_ && in_peers_.empty()) {
+      // Spare elastic member: no StreamCtl ever taught it the writers'
+      // geometry, so the first handoff does. All writers of an elastic
+      // partition share one block size (enforced below from then on).
+      cfg_.block_size = fc.ctl.block_size;
+      geom_adopted_ = true;
+      framed_ = rt_->config().payload_copy_cap >=
+                cfg_.block_size + sizeof(BlockHeader);
+    }
     if (fc.ctl.block_size != cfg_.block_size)
       throw std::runtime_error("failover writer disagrees on block size");
-    InPeer ip;
-    ip.universe_rank = src;
-    ip.tag = fc.ctl.tag;
+    FailoverHello hello;
+    hello.src = src;
+    hello.tag = fc.ctl.tag;
+    hello.n_async = fc.ctl.n_async;
+    hello.resume_seq = fc.resume_seq;
+    hello.replayed = fc.replayed;
+    hello.base_seq = fc.base_seq;
+    hello.drain = fc.drain != 0;
+    if (adopt_join(hello))
+      any = true;
+    else
+      pending_joins_.push_back(hello);
+  }
+  return any;
+}
+
+bool Stream::adopt_join(const FailoverHello& hello) {
+  auto& rc = mpi::Runtime::self();
+  InPeer* prior = nullptr;
+  for (auto& p : in_peers_)
+    if (p.universe_rank == hello.src && p.tag == hello.tag) prior = &p;
+  if (prior && !prior->closed && !prior->dead)
+    return false;  // the previous incarnation's drain EOS is still queued
+  InPeer fresh;
+  InPeer& ip = prior ? *prior : fresh;
+  ip.universe_rank = hello.src;
+  ip.tag = hello.tag;
+  if (hello.drain) {
+    // Clean handoff: pick up exactly where the previous holder stopped —
+    // no gap, nothing replayed, nothing charged to the ledger.
+    ip.drain_join = true;
+    ip.expected_seq = hello.resume_seq;
+    ++drain_joins_;
+  } else {
+    // Crash handoff: accountable from the last clean-handoff base (0
+    // under fixed membership). The gap up to the first replayed block
+    // charges exactly the unreplayable-and-unanalyzed prefix.
     ip.failover_join = true;
-    ip.replay_announced = fc.replayed;
-    // expected_seq stays 0: the gap up to the first replayed block charges
-    // every unreplayable pre-failover block to the loss ledger.
-    ip.slots.resize(static_cast<std::size_t>(fc.ctl.n_async));
+    ip.replay_announced += hello.replayed;
+    ip.expected_seq = hello.base_seq;
+    ++failover_joins_;
+  }
+  ip.closed = false;
+  ip.dead = false;
+  ip.consecutive_corrupt = 0;
+  if (ip.slots.empty()) {
+    ip.head = 0;
+    ip.slots.resize(static_cast<std::size_t>(std::max(1, hello.n_async)));
     for (auto& s : ip.slots) {
       s.data = mem::acquire_block(cfg_.block_size + frame_bytes());
-      s.req = universe_.pirecv(s.data, cfg_.block_size + frame_bytes(), src,
-                               ip.tag);
+      s.req = universe_.pirecv(s.data, cfg_.block_size + frame_bytes(),
+                               hello.src, ip.tag);
     }
-    ++failover_joins_;
-    if (obs::enabled()) {
-      sobs().failover_joins.add(1);
-      obs::trace_instant("stream", "stream.failover_join", rc.clock);
+  } else {
+    // Reopen of a cleanly-closed incarnation: every slot except the one
+    // that consumed the end-of-stream is still posted. Re-arm that slot
+    // and advance past it, so consumption order keeps matching the
+    // per-link post order (FIFO matching would otherwise wedge the head
+    // behind n_async-1 older receives).
+    auto& s = ip.slots[ip.head];
+    if (!s.req) {
+      if (!s.data)
+        s.data = mem::acquire_block(cfg_.block_size + frame_bytes());
+      s.req = universe_.pirecv(s.data, cfg_.block_size + frame_bytes(),
+                               hello.src, ip.tag);
+      ip.head = (ip.head + 1) % ip.slots.size();
     }
-    in_peers_.push_back(std::move(ip));
   }
+  if (obs::enabled()) {
+    (hello.drain ? sobs().drain_joins : sobs().failover_joins).add(1);
+    obs::trace_instant(
+        "stream", hello.drain ? "stream.drain_join" : "stream.failover_join",
+        rc.clock);
+  }
+  if (!prior) in_peers_.push_back(std::move(fresh));
+  return true;
 }
 
 bool Stream::failover_grace_over() {
   auto& rc = mpi::Runtime::self();
+  // A deferred handshake will be adopted once its link's previous
+  // incarnation closes — never exit while one is pending.
+  if (!pending_joins_.empty()) return false;
   // A queued handshake means a join is imminent — never exit under it.
   if (rt_->mailbox(rc.world_rank)
           .probe(universe_.context(), mpi::kAnySource, kStreamFailoverTag,
@@ -664,6 +924,10 @@ bool Stream::scan_silent_dead() {
 int Stream::try_read_block(void* buf) {
   auto& rc = mpi::Runtime::self();
   const std::size_t n = in_peers_.size();
+  // A spare elastic member starts with zero links; "all closed" is
+  // vacuously true and read_impl's grace loop takes over (also keeps the
+  // policy rotation below from dividing by zero).
+  if (n == 0) return 0;
   // Polling order honours the policy: round-robin rotates the start,
   // random picks a random start, none scans from the first endpoint.
   std::size_t start = 0;
@@ -815,12 +1079,11 @@ int Stream::read_impl(void* buf, int nblocks, int flags) {
     if (r == 0 || r == -3) {
       if (got > 0) return got;  // terminal condition recurs on next call
       if (failover_possible_) {
-        // Every original writer is done, but a sibling's death may still
-        // re-route endpoints here: hold the stream open until no join can
-        // ever arrive (grace), adopting handshakes as they land.
-        const std::size_t before = in_peers_.size();
-        accept_failover_joins();
-        if (in_peers_.size() != before) continue;  // adopted a link: rescan
+        // Every original writer is done, but a sibling's death (or an
+        // elastic epoch boundary) may still re-route endpoints here: hold
+        // the stream open until no join can ever arrive (grace), adopting
+        // handshakes as they land.
+        if (accept_failover_joins()) continue;  // adopted a link: rescan
         if (!failover_grace_over()) {
           if (flags & kNonblock) return kEagain;
           std::this_thread::sleep_for(poll);
@@ -955,6 +1218,8 @@ StreamStats Stream::stats() const {
   s.heartbeats_missed = heartbeats_missed_;
   s.resent_blocks = resent_blocks_;
   s.failover_joins = failover_joins_;
+  s.planned_handoffs = planned_handoffs_;
+  s.drain_joins = drain_joins_;
   for (const auto& ip : in_peers_) {
     s.blocks_lost += ip.lost;
     s.blocks_corrupted += ip.corrupted;
@@ -978,6 +1243,7 @@ std::vector<StreamPeerStats> Stream::peer_stats() const {
     ps.closed = ip.closed;
     ps.dead = ip.dead;
     ps.failover_join = ip.failover_join;
+    ps.drain_join = ip.drain_join;
     ps.blocks_replayed = ip.replay_announced;
     out.push_back(ps);
   }

@@ -118,6 +118,9 @@ struct StreamPeerStats {
   bool closed = false;                 ///< Clean end-of-stream received.
   bool dead = false;                   ///< Writer died / link quarantined.
   bool failover_join = false;          ///< Link adopted from a dead reader.
+  /// Link adopted through a planned drain handoff (elastic membership):
+  /// clean by construction, charges nothing to the loss ledger.
+  bool drain_join = false;
   /// Blocks the writer announced it would replay on this adopted link.
   std::uint64_t blocks_replayed = 0;
 };
@@ -138,6 +141,8 @@ struct StreamStats {
   std::uint64_t heartbeats_missed = 0;  ///< Modeled beacons missed before declaring.
   std::uint64_t resent_blocks = 0;      ///< Blocks replayed onto new endpoints.
   std::uint64_t failover_joins = 0;     ///< Links adopted from dead readers (read side).
+  std::uint64_t planned_handoffs = 0;   ///< Drain handoffs executed (write side).
+  std::uint64_t drain_joins = 0;        ///< Links adopted via drain handoff (read side).
   int peers_dead = 0;
 };
 
@@ -237,7 +242,24 @@ class Stream {
     std::uint64_t retried = 0;
     int consecutive_corrupt = 0;
     bool failover_join = false;          ///< Adopted from a dead reader.
+    bool drain_join = false;             ///< Adopted via planned drain handoff.
     std::uint64_t replay_announced = 0;  ///< Writer's announced replay count.
+  };
+
+  /// A decoded failover/drain handshake, kept pending when it targets a
+  /// link whose previous incarnation (same writer, same tag) is still
+  /// live — the queued drain end-of-stream must close it first, or the
+  /// reopen would corrupt the old incarnation's sequence accounting.
+  struct FailoverHello {
+    int src = -1;
+    int tag = 0;
+    int n_async = 0;
+    std::uint64_t resume_seq = 0;
+    std::uint64_t replayed = 0;
+    /// First sequence number the successor is accountable for: everything
+    /// below it was analyzed by live previous holders of the link.
+    std::uint64_t base_seq = 0;
+    bool drain = false;  ///< Planned handoff (clean), not a crash failover.
   };
 
   int next_target();
@@ -254,8 +276,24 @@ class Stream {
   /// surviving rank of the same partition and replay the resend window.
   /// Returns false when no survivor exists (endpoint becomes a dead end).
   void fail_over_endpoint(std::size_t ti, double t_dead);
-  /// Reader: adopt any pending failover handshakes into in_peers_.
-  void accept_failover_joins();
+  /// Writer: execute any elastic epoch transition the virtual clock has
+  /// crossed — re-route every endpoint whose elastic_route changed, via a
+  /// drain handoff (live old holder) or crash failover (dead old holder).
+  void check_elastic_epoch();
+  /// Writer: planned handoff of endpoint `ti` from its live current
+  /// holder to active member `want`: drain end-of-stream to the old
+  /// holder (zero sequence gap), drop the resend ring (the old holder
+  /// analyzed it; replaying would double-count), drain-flagged handshake
+  /// to the successor.
+  void drain_handoff(std::size_t ti, int want);
+  /// Reader: adopt any pending failover/drain handshakes into in_peers_.
+  /// Returns true when at least one link was adopted or reopened (the
+  /// caller must rescan — a reopen does not change in_peers_.size()).
+  bool accept_failover_joins();
+  /// Reader: apply one decoded handshake — fresh link, or reopen of a
+  /// closed previous incarnation. Returns false when it must stay pending
+  /// (previous incarnation still live).
+  bool adopt_join(const FailoverHello& hello);
   /// Reader: true once no failover join can ever arrive again (every
   /// potential writer rank finished and no handshake is queued).
   bool failover_grace_over();
@@ -304,6 +342,23 @@ class Stream {
   double lease_watermark_ = 0.0;
   std::uint64_t lease_epoch_seen_ = ~std::uint64_t{0};  ///< Forces first scan.
 
+  // Elastic membership (both sides; armed from RuntimeConfig::elastic).
+  net::ElasticSchedule elastic_;
+  /// Writer: endpoints inside the elastic partition follow elastic_route
+  /// per epoch. Requires framing (handoffs ride the failover handshake).
+  bool elastic_armed_ = false;
+  int elastic_epoch_ = 0;  ///< Last epoch this writer acted on.
+  /// Per-endpoint ranks that held the link in an earlier epoch and
+  /// analyzed its blocks — never valid crash-failover successors (their
+  /// partials already cover those sequence ranges).
+  std::vector<std::vector<int>> prior_holders_;
+  /// Per-endpoint first sequence number the *current* holder is
+  /// accountable for (advanced at each clean drain handoff). A crash
+  /// successor charges its ledger only from here: below it, blocks were
+  /// analyzed by live previous holders.
+  std::vector<std::uint64_t> replay_base_;
+  std::uint64_t planned_handoffs_ = 0;
+
   // Opt-in progress engine (net/progress.hpp): charge-attribution ledger
   // for the node-level progress rank that drains this writer's send ring.
   // The app-visible schedule is untouched — lane_ points at a
@@ -321,6 +376,17 @@ class Stream {
   /// outside this reader's partition).
   std::vector<int> grace_ranks_;
   std::uint64_t failover_joins_ = 0;
+  /// Reader: elastic member — may start with zero links (spare) and must
+  /// keep accepting handoffs until the grace period ends.
+  bool elastic_reader_ = false;
+  /// Reader: stream geometry (block size) has been adopted from a writer
+  /// handshake. A spare that opened with zero links adopts it from its
+  /// first handoff instead; after that, disagreement is a hard error.
+  bool geom_adopted_ = false;
+  std::uint64_t drain_joins_ = 0;
+  /// Handshakes deferred because the link's previous incarnation was
+  /// still live when they arrived (see FailoverHello).
+  std::vector<FailoverHello> pending_joins_;
 
   std::uint64_t blocks_written_ = 0;
   std::uint64_t blocks_read_ = 0;

@@ -92,6 +92,24 @@ SPECS = {
         "metrics": {"app_walltime": (0.20, "rel")},
         "default_mode": "warn",
     },
+    "elastic": {
+        # Membership transitions are planned, not reactive: every counter
+        # is a pure function of (seed, schedule) and gates exactly. The
+        # app walltime inherits the fluid model's host-order jitter.
+        "key": ("scenario",),
+        "metrics": {
+            "epochs": (0.0, "exact"),
+            "joined": (0.0, "exact"),
+            "left": (0.0, "exact"),
+            "planned_handoffs": (0.0, "exact"),
+            "failover_joins": (0.0, "exact"),
+            "stream_blocks": (0.0, "exact"),
+            "blocks_lost": (0.0, "exact"),
+            "total_events": (0.0, "exact"),
+            "app_walltime": (0.15, "rel"),
+        },
+        "default_mode": "fail",
+    },
     "progress": {
         # Event counts are pinned-schedule exact (the engine is charge
         # attribution); walltimes and the absorption ledger inherit the

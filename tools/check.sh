@@ -83,6 +83,7 @@ run_bench_gate tenancy ESP_TENANCY_BENCH_JSON ablation_tenancy
 run_bench_gate hotpath ESP_HOTPATH_BENCH_JSON ablation_hotpath
 run_bench_gate stream ESP_STREAM_BENCH_JSON ablation_stream
 run_bench_gate progress ESP_PROGRESS_BENCH_JSON ablation_progress
+run_bench_gate elastic ESP_ELASTIC_BENCH_JSON ablation_elastic
 
 echo "=== chaos soak (ASan) ==="
 # Randomized seeded fault campaigns against full sessions, each seed run
@@ -103,5 +104,16 @@ ESP_SOAK_SEED="${ESP_SOAK_SEED:-}" \
   "$repo/build-sanitize/tools/soak" \
   --tenants "${ESP_SOAK_TENANTS:-12}" \
   --runs "${ESP_SOAK_TENANT_RUNS:-4}" --seed-from-env
+
+echo "=== elastic-membership chaos soak (ASan) ==="
+# Membership-churn campaigns: seeded random grow/shrink plans (spares
+# joining, members draining and leaving, optional re-joins) with crashes
+# mixed in — every campaign run twice and required to reproduce
+# bit-identical reports; crash-free campaigns must show a zero loss
+# ledger (a planned drain is clean by construction).
+ESP_SOAK_SEED="${ESP_SOAK_SEED:-}" \
+  "$repo/build-sanitize/tools/soak" \
+  --elastic "${ESP_SOAK_ELASTIC:-4}" \
+  --runs "${ESP_SOAK_ELASTIC_RUNS:-4}" --seed-from-env
 
 echo "=== all checks passed ==="

@@ -31,10 +31,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "core/session.hpp"
 #include "net/fault.hpp"
@@ -49,15 +51,28 @@ int g_failures = 0;
 std::string g_repro_flags;
 
 /// One copy-pasteable command that reruns exactly the failing scenario:
-/// every ESP_* variable of the current environment (they override session
-/// knobs at Session construction) plus the seed pinned to a single run.
+/// the union of every knob the run actually consulted (the env.cpp
+/// registry — generic, so a knob added anywhere in the codebase shows up
+/// here without touching this file) and every ESP_* variable set in the
+/// environment, plus the seed pinned to a single run. Sorted, so the
+/// line itself is deterministic.
 std::string repro_line(std::uint64_t seed) {
-  std::string line;
+  std::set<std::string> names;
+  for (const std::string& n : esp::consulted_env_names())
+    if (std::getenv(n.c_str()) != nullptr) names.insert(n);
   for (char** e = environ; e && *e; ++e) {
-    if (std::strncmp(*e, "ESP_", 4) == 0) {
-      line += *e;
-      line += ' ';
-    }
+    if (std::strncmp(*e, "ESP_", 4) != 0) continue;
+    if (const char* eq = std::strchr(*e, '='))
+      names.insert(std::string(*e, static_cast<std::size_t>(eq - *e)));
+  }
+  std::string line;
+  for (const std::string& n : names) {
+    const char* v = std::getenv(n.c_str());
+    if (v == nullptr) continue;
+    line += n;
+    line += '=';
+    line += v;
+    line += ' ';
   }
   line += "soak --seed " + std::to_string(seed) + " --runs 1" + g_repro_flags;
   return line;
@@ -391,6 +406,172 @@ void check_tenant_determinism(const TenantRun& a, const TenantRun& b,
              "same seed produced different report bytes");
 }
 
+// ---------------------------------------------------------------------------
+// Elastic-membership campaign mode (--elastic N): N tenant apps against a
+// fabric whose analyzer partition grows and shrinks on a seeded plan —
+// spare warm-joins, base-member drain-and-leaves, sometimes a re-join of
+// a departed member, sometimes an analyzer crash landed near a drain.
+// Every seed runs twice and must replay bit for bit; a churn-only seed
+// (no crash scheduled) must keep every ledger clean: a planned drain
+// loses nothing, ever.
+// ---------------------------------------------------------------------------
+
+struct ElasticRun {
+  bool completed = false;
+  bool crash_scheduled = false;  ///< Scenario property, not an outcome.
+  std::uint64_t epochs = 0, joined = 0, left = 0;
+  std::uint64_t planned_handoffs = 0, failover_joins = 0;
+  std::uint64_t join_announcements = 0;
+  std::uint64_t admitted = 0, rejected = 0;
+  std::uint64_t blocks_lost = 0, blocks_corrupted = 0;
+  std::uint64_t total_events = 0;
+  std::vector<int> dead_world;
+  std::string report;
+};
+
+ElasticRun run_elastic_campaign(std::uint64_t seed, int ntenants, int iters,
+                                const std::string& out_dir) {
+  esp::Rng rng(seed * 0x9e3779b97f4a7c15ull + 13);
+  esp::SessionConfig cfg;
+  cfg.runtime.seed = seed;
+  cfg.runtime.watchdog_virtual_deadline = 60.0;
+  // Geometry: 8-rank tenants on ratio 8 give base = ntenants analyzer
+  // members; with the spares the partition stays <= each tenant's size,
+  // so every writer holds exactly one elastic endpoint (the membership
+  // router's contract).
+  const int nprocs = 8;
+  cfg.analyzer_ratio = 8;
+  const int base = ntenants;
+  const int spares = 1 + static_cast<int>(rng.below(2));
+  cfg.instrument.block_size = 8192;
+  cfg.instrument.n_async = 2;
+  cfg.instrument.hb_lease = 5e-4;
+  cfg.instrument.hb_interval = 1e-4;
+  cfg.instrument.resend_window = 1 << rng.below(4);
+  cfg.tenants.enabled = true;
+  cfg.tenants.mean_arrival_gap = rng.uniform(1e-4, 4e-4);
+  cfg.elastic.enabled = true;
+  cfg.elastic.spares = spares;
+
+  // Seeded membership plan. Member 0 never leaves and never crashes, so
+  // the reduction root is stable by construction; everything else churns.
+  auto add_event = [&](bool join, int member, double t) {
+    esp::net::ElasticPlan::Event ev;
+    ev.join = join;
+    ev.member = member;
+    ev.at_time = t;
+    cfg.elastic.plan.push_back(ev);
+  };
+  for (int s = 0; s < spares; ++s)
+    add_event(true, base + s, rng.uniform(5e-4, 3e-3));
+  int left_member = -1;
+  double left_at = 0.0;
+  if (base > 1 && rng.below(2) == 0) {
+    left_member = 1 + static_cast<int>(
+        rng.below(static_cast<std::uint64_t>(base - 1)));
+    left_at = rng.uniform(1e-3, 5e-3);
+    add_event(false, left_member, left_at);
+    if (rng.below(4) == 0) {
+      // Re-join of a departed member: its next tenure is a new epoch and
+      // it must never adopt links it held before leaving.
+      add_event(true, left_member, left_at + rng.uniform(1e-3, 2e-3));
+    }
+  }
+
+  ElasticRun o;
+  if (rng.below(2) == 0) {
+    // Crash one churning member; when a drain is planned, land the crash
+    // near the drain instant so the handoff itself takes the hit.
+    esp::net::FaultPlan::RankCrash rc;
+    rc.analyzer_rank = true;
+    if (left_member >= 0) {
+      rc.world_rank = left_member;
+      rc.at_time = left_at + rng.uniform(-3e-4, 3e-4);
+    } else {
+      rc.world_rank = 1 + static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(base + spares - 1)));
+      rc.at_time = rng.uniform(5e-4, 4e-3);
+    }
+    cfg.faults.crashes.push_back(rc);
+    o.crash_scheduled = true;
+  }
+
+  cfg.output_dir = out_dir;
+  esp::Session session(cfg);
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(ntenants));
+  for (int t = 0; t < ntenants; ++t)
+    ids.push_back(session.add_application("el" + std::to_string(t), nprocs,
+                                          ring(iters + 10 * (t % 5))));
+  auto results = session.run();
+
+  o.completed = true;
+  o.epochs = results->health.membership_epochs;
+  o.joined = results->health.members_joined;
+  o.left = results->health.members_left;
+  o.planned_handoffs = results->health.planned_handoffs;
+  o.failover_joins = results->health.failover_joins;
+  o.join_announcements = results->health.join_announcements;
+  o.admitted = results->health.tenants_admitted;
+  o.rejected = results->health.tenants_rejected;
+  o.dead_world = results->health.dead_world_ranks;
+  for (int app : ids) {
+    if (const esp::an::AppResults* r = results->find(app)) {
+      o.blocks_lost += r->loss.blocks_lost;
+      o.blocks_corrupted += r->loss.blocks_corrupted;
+      o.total_events += r->total_events;
+    }
+  }
+  o.report = slurp(out_dir + "/report.md");
+  return o;
+}
+
+void check_elastic_invariants(const ElasticRun& o, std::uint64_t seed) {
+  SOAK_CHECK(o.completed, seed, "elastic campaign did not complete");
+  SOAK_CHECK(!o.report.empty(), seed, "report.md missing or empty");
+  SOAK_CHECK(o.report.find("Membership") != std::string::npos, seed,
+             "report lacks the membership roll-up");
+  SOAK_CHECK(o.epochs >= 2, seed, "elastic plan produced no epoch change");
+  SOAK_CHECK(o.joined > 0, seed, "elastic plan scheduled no join");
+  SOAK_CHECK(o.admitted > 0, seed, "fabric admitted no tenant at all");
+  SOAK_CHECK(o.total_events > 0, seed, "campaign analysed no events");
+  if (!o.crash_scheduled) {
+    // The core drain contract: membership churn alone never costs data.
+    SOAK_CHECK(o.dead_world.empty(), seed,
+               "a rank died without a scheduled crash");
+    SOAK_CHECK(o.blocks_lost == 0, seed,
+               "a clean drain charged the loss ledger");
+    SOAK_CHECK(o.blocks_corrupted == 0, seed,
+               "a clean drain corrupted blocks");
+    SOAK_CHECK(o.failover_joins == 0, seed,
+               "a crash-free run took the crash-failover path");
+  }
+}
+
+void check_elastic_determinism(const ElasticRun& a, const ElasticRun& b,
+                               std::uint64_t seed) {
+  SOAK_CHECK(a.epochs == b.epochs && a.joined == b.joined &&
+                 a.left == b.left,
+             seed, "membership plan differs between same-seed runs");
+  SOAK_CHECK(a.planned_handoffs == b.planned_handoffs, seed,
+             "planned handoff count differs between same-seed runs");
+  SOAK_CHECK(a.failover_joins == b.failover_joins, seed,
+             "failover count differs between same-seed runs");
+  SOAK_CHECK(a.join_announcements == b.join_announcements, seed,
+             "join announcements differ between same-seed runs");
+  SOAK_CHECK(a.admitted == b.admitted && a.rejected == b.rejected, seed,
+             "admission books differ between same-seed runs");
+  SOAK_CHECK(a.dead_world == b.dead_world, seed,
+             "death schedule differs between same-seed runs");
+  SOAK_CHECK(a.blocks_lost == b.blocks_lost &&
+                 a.blocks_corrupted == b.blocks_corrupted,
+             seed, "loss ledger differs between same-seed runs");
+  SOAK_CHECK(a.total_events == b.total_events, seed,
+             "analysed totals differ between same-seed runs");
+  SOAK_CHECK(a.report == b.report, seed,
+             "same seed produced different report bytes");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -399,6 +580,7 @@ int main(int argc, char** argv) {
   int app_ranks = 8;
   int iters = 500;
   int tenants = 0;  // > 0: multi-tenant campaign mode
+  int elastic = 0;  // > 0: elastic-membership campaign mode
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -422,16 +604,26 @@ int main(int argc, char** argv) {
       iters = std::atoi(next());
     } else if (arg == "--tenants") {
       tenants = std::atoi(next());
+    } else if (arg == "--elastic") {
+      elastic = std::atoi(next());
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: soak [--runs N] [--seed S | --seed-from-env] "
-                   "[--ranks N] [--iters N] [--tenants N] [-v]\n");
+                   "[--ranks N] [--iters N] [--tenants N] [--elastic N] "
+                   "[-v]\n");
       return 2;
     }
   }
-  if (tenants > 0) {
+  if (elastic > 0) {
+    // Geometry bound (see run_elastic_campaign): base members + spares
+    // must not exceed the 8-rank tenant size.
+    elastic = std::clamp(elastic, 2, 6);
+    if (iters == 500) iters = 120;
+    g_repro_flags = " --elastic " + std::to_string(elastic) + " --iters " +
+                    std::to_string(iters);
+  } else if (tenants > 0) {
     // The fault campaign defaults are sized for one 8-rank app; tenant
     // campaigns run many small apps, so shorten each workload unless the
     // caller pinned --iters explicitly.
@@ -449,6 +641,57 @@ int main(int argc, char** argv) {
       ("esp_soak_" + std::to_string(static_cast<unsigned long long>(seed)));
   std::error_code ec;
   fs::remove_all(base, ec);
+
+  if (elastic > 0) {
+    std::uint64_t campaign_handoffs = 0, campaign_joins = 0,
+                  campaign_left = 0, campaign_deaths = 0;
+    for (int r = 0; r < runs && g_failures == 0; ++r) {
+      const std::uint64_t s = seed + static_cast<std::uint64_t>(r);
+      const std::string da = (base / (std::to_string(s) + "_a")).string();
+      const std::string db = (base / (std::to_string(s) + "_b")).string();
+      const ElasticRun a = run_elastic_campaign(s, elastic, iters, da);
+      check_elastic_invariants(a, s);
+      const ElasticRun b = run_elastic_campaign(s, elastic, iters, db);
+      check_elastic_determinism(a, b, s);
+      campaign_handoffs += a.planned_handoffs;
+      campaign_joins += a.joined;
+      campaign_left += a.left;
+      campaign_deaths += a.dead_world.size();
+      if (verbose)
+        std::printf(
+            "soak: seed=%llu epochs=%llu joined=%llu left=%llu "
+            "handoffs=%llu failovers=%llu lost=%llu dead=%zu\n",
+            static_cast<unsigned long long>(s),
+            static_cast<unsigned long long>(a.epochs),
+            static_cast<unsigned long long>(a.joined),
+            static_cast<unsigned long long>(a.left),
+            static_cast<unsigned long long>(a.planned_handoffs),
+            static_cast<unsigned long long>(a.failover_joins),
+            static_cast<unsigned long long>(a.blocks_lost),
+            a.dead_world.size());
+    }
+    // Non-vacuity: a campaign of this size must really churn membership
+    // and hand streams off, or it soaks nothing.
+    if (g_failures == 0 && runs >= 5) {
+      SOAK_CHECK(campaign_handoffs > 0, seed,
+                 "elastic campaign never handed a stream off");
+      SOAK_CHECK(campaign_left > 0, seed,
+                 "elastic campaign never drained a member");
+    }
+    fs::remove_all(base, ec);
+    if (g_failures > 0) {
+      std::fprintf(stderr, "soak: %d invariant violation(s)\n", g_failures);
+      return 1;
+    }
+    std::printf(
+        "soak: %d elastic campaigns x 2 runs clean "
+        "(handoffs=%llu, joined=%llu, left=%llu, deaths=%llu)\n",
+        runs, static_cast<unsigned long long>(campaign_handoffs),
+        static_cast<unsigned long long>(campaign_joins),
+        static_cast<unsigned long long>(campaign_left),
+        static_cast<unsigned long long>(campaign_deaths));
+    return 0;
+  }
 
   if (tenants > 0) {
     std::uint64_t campaign_shed = 0, campaign_rejected = 0,
